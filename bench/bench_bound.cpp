@@ -1,0 +1,117 @@
+// E5 — VCAbound's extra parallelism and the cost of imprecise bounds.
+//
+// Section 5.2 claims VCAbound enables "more parallelism than in the case
+// of VCAbasic, where computation k must firstly complete". The workload:
+// K computations, each visiting a shared head microprotocol exactly once
+// (cheap) and then a private tail microprotocol (expensive I/O). Under
+// VCAbasic the shared head serializes everything until each computation
+// *completes*; under VCAbound with an exact bound the head is released
+// after its single visit, so the expensive tails overlap.
+//
+// The bound-slack sweep shows the ablation: a slack bound (declared much
+// larger than the actual visit count) postpones the release to completion
+// (Rule 3), degrading VCAbound back towards VCAbasic.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace samoa::bench {
+namespace {
+
+class QuickMp : public Microprotocol {
+ public:
+  explicit QuickMp(std::string name) : Microprotocol(std::move(name)) {
+    handler = &register_handler("run", [](Context&, const Message&) {});
+  }
+  const Handler* handler = nullptr;
+};
+
+class SlowMp : public Microprotocol {
+ public:
+  SlowMp(std::string name, std::chrono::microseconds latency) : Microprotocol(std::move(name)) {
+    handler = &register_handler("run", [latency](Context&, const Message&) {
+      std::this_thread::sleep_for(latency);
+    });
+  }
+  const Handler* handler = nullptr;
+};
+
+struct Workload {
+  Stack stack;
+  QuickMp* head;
+  std::vector<SlowMp*> tails;
+  EventType head_ev{"head"};
+  std::vector<EventType> tail_evs;
+
+  explicit Workload(int k, std::chrono::microseconds tail_latency) {
+    head = &stack.emplace<QuickMp>("head");
+    stack.bind(head_ev, *head->handler);
+    for (int i = 0; i < k; ++i) {
+      auto& mp = stack.emplace<SlowMp>("tail" + std::to_string(i), tail_latency);
+      tails.push_back(&mp);
+      tail_evs.emplace_back("tail_ev" + std::to_string(i));
+      stack.bind(tail_evs.back(), *mp.handler);
+    }
+  }
+};
+
+/// Makespan with the given policy; `declared_bound` only matters for
+/// VCAbound (1 = exact, larger = slack).
+double makespan_ns(CCPolicy policy, int k, std::uint32_t declared_bound,
+                   std::chrono::microseconds tail_latency) {
+  Workload w(k, tail_latency);
+  Runtime rt(w.stack, RuntimeOptions{.policy = policy});
+  const auto start = Clock::now();
+  std::vector<ComputationHandle> hs;
+  for (int i = 0; i < k; ++i) {
+    Isolation iso = policy == CCPolicy::kVCABound
+                        ? Isolation::bound({{w.head, declared_bound}, {w.tails[i], 1}})
+                        : Isolation::basic({w.head, w.tails[i]});
+    hs.push_back(rt.spawn_isolated(std::move(iso), [&, i](Context& ctx) {
+      ctx.trigger(w.head_ev);      // one visit to the shared microprotocol
+      ctx.trigger(w.tail_evs[i]);  // expensive private work
+    }));
+  }
+  for (auto& h : hs) h.wait();
+  return ns_since(start);
+}
+
+}  // namespace
+}  // namespace samoa::bench
+
+int main() {
+  using namespace samoa;
+  using namespace samoa::bench;
+
+  constexpr auto kTail = std::chrono::microseconds(400);
+  constexpr int kReps = 5;
+  std::printf(
+      "E5: K computations sharing one microprotocol (1 visit each) followed by\n"
+      "%lldus of private work; VCAbound releases the shared head after the visit.\n",
+      static_cast<long long>(kTail.count()));
+
+  Table table({"K", "VCAbasic", "VCAbound(exact)", "VCAbound(slack x8)", "basic/bound(exact)"});
+  for (int k : {2, 4, 8, 16}) {
+    double basic = 0, exact = 0, slack = 0;
+    for (int r = 0; r < kReps; ++r) {
+      basic += makespan_ns(CCPolicy::kVCABasic, k, 1, kTail);
+      exact += makespan_ns(CCPolicy::kVCABound, k, 1, kTail);
+      slack += makespan_ns(CCPolicy::kVCABound, k, 8, kTail);
+    }
+    basic /= kReps;
+    exact /= kReps;
+    slack /= kReps;
+    table.add_row({std::to_string(k), format_duration_ns(basic), format_duration_ns(exact),
+                   format_duration_ns(slack), Table::fmt(basic / exact, 1) + "x"});
+  }
+  table.print("Makespan: early release via least-upper-bounds (paper Section 5.2)");
+
+  std::printf(
+      "\nExpected shape: VCAbound(exact) ~flat in K (tails overlap: the head's\n"
+      "budget is used up after one visit, Rule 4 opens the next window).\n"
+      "VCAbasic ~linear (head released only at completion). Slack bounds\n"
+      "degrade back towards VCAbasic: the unused budget is only returned at\n"
+      "completion (Rule 3), so the successor's window opens just as late.\n"
+      "This is the paper's warning that the variants need *accurate* bounds.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E3 — concurrency-control overhead (paper Section 7: "the overhead
+// incurred by J-SAMOA's concurrency control algorithms ... is relatively
+// low").
+//
+// Micro-benchmarks, one cell per (controller, |M|):
+//   * spawn+complete of an empty computation (admission + Step 3 cost),
+//   * a computation performing 16 gated handler calls (per-call cost),
+// against the raw cost of calling the same handler functions directly.
+// Run with --benchmark_* flags; default output is the google-benchmark
+// table.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace samoa::bench {
+namespace {
+
+class NopMp : public Microprotocol {
+ public:
+  explicit NopMp(std::string name) : Microprotocol(std::move(name)) {
+    handler = &register_handler("nop", [](Context&, const Message&) {});
+  }
+  const Handler* handler = nullptr;
+};
+
+struct Env {
+  Stack stack;
+  std::vector<NopMp*> mps;
+  std::vector<EventType> evs;
+
+  explicit Env(int n_mps) {
+    for (int i = 0; i < n_mps; ++i) {
+      auto& mp = stack.emplace<NopMp>("mp" + std::to_string(i));
+      mps.push_back(&mp);
+      evs.emplace_back("ev" + std::to_string(i));
+      stack.bind(evs.back(), *mp.handler);
+    }
+  }
+
+  Isolation iso(CCPolicy policy) const {
+    switch (policy) {
+      case CCPolicy::kVCABound: {
+        std::vector<std::pair<const Microprotocol*, std::uint32_t>> bounds;
+        for (auto* mp : mps) bounds.emplace_back(mp, 32);
+        return Isolation::bound(bounds);
+      }
+      case CCPolicy::kVCARoute: {
+        RouteSpec spec;
+        for (auto* mp : mps) spec.entry(*mp->handler);
+        return Isolation::route(spec);
+      }
+      default: {
+        std::vector<const Microprotocol*> members(mps.begin(), mps.end());
+        return Isolation::basic(members);
+      }
+    }
+  }
+};
+
+CCPolicy policy_from(int index) {
+  static const CCPolicy kAll[] = {CCPolicy::kSerial, CCPolicy::kUnsync, CCPolicy::kVCABasic,
+                                  CCPolicy::kVCABound, CCPolicy::kVCARoute};
+  return kAll[index];
+}
+
+/// Cost of spawning and completing an empty isolated computation.
+void BM_SpawnEmpty(benchmark::State& state) {
+  const CCPolicy policy = policy_from(static_cast<int>(state.range(0)));
+  const int n_mps = static_cast<int>(state.range(1));
+  Env env(n_mps);
+  Runtime rt(env.stack, RuntimeOptions{.policy = policy});
+  for (auto _ : state) {
+    rt.spawn_isolated(env.iso(policy), [](Context&) {}).wait();
+  }
+  state.SetLabel(to_string(policy));
+}
+BENCHMARK(BM_SpawnEmpty)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 4, 16, 64}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Cost of 16 gated handler calls inside one computation.
+void BM_GatedCalls(benchmark::State& state) {
+  const CCPolicy policy = policy_from(static_cast<int>(state.range(0)));
+  const int n_mps = static_cast<int>(state.range(1));
+  Env env(n_mps);
+  Runtime rt(env.stack, RuntimeOptions{.policy = policy});
+  for (auto _ : state) {
+    rt.spawn_isolated(env.iso(policy), [&](Context& ctx) {
+        for (int c = 0; c < 16; ++c) ctx.trigger(env.evs[c % env.evs.size()]);
+      }).wait();
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  state.SetLabel(to_string(policy));
+}
+BENCHMARK(BM_GatedCalls)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Baseline: the same 16 handler bodies as plain function calls.
+void BM_RawCalls(benchmark::State& state) {
+  Env env(1);
+  Stack& stack = env.stack;
+  stack.seal();
+  Runtime rt(env.stack, RuntimeOptions{.policy = CCPolicy::kUnsync});
+  // One long-lived computation; measure only the call loop.
+  for (auto _ : state) {
+    rt.spawn_isolated(env.iso(CCPolicy::kUnsync), [&](Context& ctx) {
+        for (int c = 0; c < 16; ++c) ctx.trigger(env.evs[0]);
+      }).wait();
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  state.SetLabel("unsync-dispatch-only");
+}
+BENCHMARK(BM_RawCalls)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace samoa::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "util/stats.hpp"
+
+namespace samoa::bench {
+
+inline const std::vector<CCPolicy>& isolating_policies() {
+  static const std::vector<CCPolicy> kPolicies = {
+      CCPolicy::kSerial, CCPolicy::kVCABasic, CCPolicy::kVCABound, CCPolicy::kVCARoute};
+  return kPolicies;
+}
+
+inline double ns_since(Clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<Nanos>(Clock::now() - start).count());
+}
+
+}  // namespace samoa::bench

@@ -1,0 +1,138 @@
+// E6 — VCAroute's reachability-based early release vs graph shape.
+//
+// Section 5.3: a microprotocol is released as soon as its handlers are
+// inactive and unreachable from active handlers; cycles in the declared
+// pattern prevent the reachability decision, so release degrades to
+// completion time (Rule 3).
+//
+// Workload: K computations share a cheap dispatcher microprotocol (head)
+// and then perform expensive private work (tail_i, asynchronous hand-off).
+// Three declarations:
+//   basic          VCAbasic {head, tail_i}: head is released only when the
+//                  whole computation completes -> computations serialize.
+//   route(chain)   head -> tail_i: once head's handler finished and only
+//                  the (unrelated) tail is active, head is unreachable and
+//                  released (Rule 4(b)) -> the private tails overlap.
+//   route(cycle)   chain + tail_i -> head: head stays reachable while the
+//                  tail runs, so release degrades to completion (Rule 3).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace samoa::bench {
+namespace {
+
+struct Workload {
+  Stack stack;
+  EventType ev_head{"head"};
+  std::vector<EventType> tail_evs;
+
+  class Head : public Microprotocol {
+   public:
+    Head() : Microprotocol("head") {
+      handler = &register_handler("run", [](Context& ctx, const Message& m) {
+        // Dispatch to the private tail named in the message.
+        const auto* ev = m.as<const EventType*>();
+        ctx.async_trigger(*ev);
+      });
+    }
+    const Handler* handler = nullptr;
+  };
+
+  class Tail : public Microprotocol {
+   public:
+    Tail(std::string name, std::chrono::microseconds latency) : Microprotocol(std::move(name)) {
+      handler = &register_handler("run", [latency](Context&, const Message&) {
+        std::this_thread::sleep_for(latency);
+      });
+    }
+    const Handler* handler = nullptr;
+  };
+
+  Head* head;
+  std::vector<Tail*> tails;
+
+  Workload(int k, std::chrono::microseconds tail_latency) {
+    head = &stack.emplace<Head>();
+    stack.bind(ev_head, *head->handler);
+    for (int i = 0; i < k; ++i) {
+      auto& mp = stack.emplace<Tail>("tail" + std::to_string(i), tail_latency);
+      tails.push_back(&mp);
+      tail_evs.emplace_back("tail_ev" + std::to_string(i));
+      stack.bind(tail_evs.back(), *mp.handler);
+    }
+  }
+};
+
+enum class Shape { kBasic, kChain, kCycle };
+
+double makespan_ns(Shape shape, int k, std::chrono::microseconds tail_latency) {
+  Workload w(k, tail_latency);
+  const CCPolicy policy = shape == Shape::kBasic ? CCPolicy::kVCABasic : CCPolicy::kVCARoute;
+  Runtime rt(w.stack, RuntimeOptions{.policy = policy});
+  const auto start = Clock::now();
+  std::vector<ComputationHandle> hs;
+  for (int i = 0; i < k; ++i) {
+    Isolation iso = [&]() -> Isolation {
+      switch (shape) {
+        case Shape::kChain:
+          return Isolation::route(RouteSpec{}
+                                      .entry(*w.head->handler)
+                                      .edge(*w.head->handler, *w.tails[i]->handler));
+        case Shape::kCycle:
+          return Isolation::route(RouteSpec{}
+                                      .entry(*w.head->handler)
+                                      .edge(*w.head->handler, *w.tails[i]->handler)
+                                      .edge(*w.tails[i]->handler, *w.head->handler));
+        default:
+          return Isolation::basic({w.head, w.tails[i]});
+      }
+    }();
+    hs.push_back(rt.spawn_isolated(std::move(iso), [&, i](Context& ctx) {
+      ctx.trigger(w.ev_head, Message::of(static_cast<const EventType*>(&w.tail_evs[i])));
+    }));
+  }
+  for (auto& h : hs) h.wait();
+  return ns_since(start);
+}
+
+}  // namespace
+}  // namespace samoa::bench
+
+int main() {
+  using namespace samoa;
+  using namespace samoa::bench;
+
+  constexpr auto kTail = std::chrono::microseconds(500);
+  constexpr int kReps = 5;
+  std::printf(
+      "E6: K computations through a shared dispatcher (head) followed by\n"
+      "%lldus of private asynchronous work; routing patterns of different\n"
+      "shapes (paper Section 5.3).\n",
+      static_cast<long long>(kTail.count()));
+
+  Table table({"K", "VCAbasic", "route(chain)", "route(cycle)", "basic/chain"});
+  for (int k : {2, 4, 8, 16}) {
+    double basic = 0, chain = 0, cycle = 0;
+    for (int r = 0; r < kReps; ++r) {
+      basic += makespan_ns(Shape::kBasic, k, kTail);
+      chain += makespan_ns(Shape::kChain, k, kTail);
+      cycle += makespan_ns(Shape::kCycle, k, kTail);
+    }
+    basic /= kReps;
+    chain /= kReps;
+    cycle /= kReps;
+    table.add_row({std::to_string(k), format_duration_ns(basic), format_duration_ns(chain),
+                   format_duration_ns(cycle), Table::fmt(basic / chain, 1) + "x"});
+  }
+  table.print("Makespan vs routing-pattern shape");
+
+  std::printf(
+      "\nExpected shape: route(chain) ~flat in K — the shared head is\n"
+      "released as soon as its handler is done and unreachable, so the\n"
+      "private tails overlap. VCAbasic ~linear (head held to completion).\n"
+      "route(cycle) ~linear too: the declared back-edge keeps head reachable\n"
+      "while the tail is active, so Rule 4(b) cannot fire — the cost of\n"
+      "imprecise routing declarations.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// The paper's Figure 1 protocol, live.
+//
+// Spawns the two concurrent external events a0 and b0 under each
+// controller, prints the recorded run in the paper's notation, and
+// classifies it against runs r1 (serial), r2 (concurrent, isolated) and
+// r3 (isolation violation).
+//
+// Build & run:  ./build/examples/fig1_pqrs
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "proto/fig1.hpp"
+#include "verify/checker.hpp"
+
+using namespace samoa;
+using proto::Fig1Msg;
+using proto::Fig1Protocol;
+
+namespace {
+
+/// Render a trace the way the paper writes runs:
+/// ((a0, P), (a1, R), (a2, S), ...).
+std::string format_run(const Fig1Protocol& proto, const std::vector<TraceEvent>& events,
+                       ComputationId ka) {
+  std::map<MicroprotocolId, std::string> names{{proto.p().id(), "P"},
+                                               {proto.q().id(), "Q"},
+                                               {proto.r().id(), "R"},
+                                               {proto.s().id(), "S"}};
+  std::string out = "(";
+  std::map<ComputationId, int> step;
+  bool first = true;
+  for (const auto& e : events) {
+    if (e.phase != TracePhase::kStart) continue;
+    if (!first) out += ", ";
+    first = false;
+    const char tag = e.computation == ka ? 'a' : 'b';
+    out += "(" + std::string(1, tag) + std::to_string(step[e.computation]++) + ", " +
+           names[e.microprotocol] + ")";
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+int main() {
+  for (CCPolicy policy : {CCPolicy::kSerial, CCPolicy::kVCABasic, CCPolicy::kVCABound,
+                          CCPolicy::kVCARoute, CCPolicy::kUnsync}) {
+    Fig1Protocol proto;
+    Runtime rt(proto.stack(), RuntimeOptions{.policy = policy, .record_trace = true});
+    // Slow R inside ka so concurrent interleavings actually happen when
+    // the controller permits them.
+    auto ka = proto.spawn(rt, Fig1Msg{.tag = 'a', .delay_r = std::chrono::microseconds(1500)});
+    auto kb = proto.spawn(rt, Fig1Msg{.tag = 'b'});
+    ka.wait();
+    kb.wait();
+    rt.drain();
+
+    const auto events = rt.trace()->snapshot();
+    const auto report = check_isolation(events);
+    const char* klass = !report.isolated ? "VIOLATION (r3-style)"
+                        : report.serial  ? "serial (r1-style)"
+                                         : "concurrent, isolated (r2-style)";
+    std::printf("%-9s %-34s run = %s\n", to_string(policy), klass,
+                format_run(proto, events, ka.id()).c_str());
+  }
+  std::printf(
+      "\nThe serial controller admits only r1; the VCA controllers admit r2\n"
+      "(and never r3); the unsynchronised baseline can produce r3 — exactly\n"
+      "the classification of Section 2 of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Group communication on the simulated network: reliable broadcast with a
+// mid-stream membership change — the Section 3 scenario of the paper.
+//
+// Five sites; four form the initial group, the fifth joins while another
+// member keeps broadcasting. With the VCAbasic controller the view change
+// and the message traffic are isolated computations, so nothing is lost;
+// the example prints per-site delivery counts and the view history.
+//
+// Build & run:  ./build/examples/group_broadcast
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "gc/group_node.hpp"
+
+using namespace samoa;
+using namespace samoa::gc;
+
+namespace {
+
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds timeout = std::chrono::milliseconds(15000)) {
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+}  // namespace
+
+int main() {
+  net::SimNetwork network(net::LinkOptions{.base_latency = std::chrono::microseconds(150),
+                                           .jitter = std::chrono::microseconds(50)},
+                          /*seed=*/2026);
+  GcOptions opts;  // VCAbasic by default — no locks anywhere in the stack
+  std::vector<std::unique_ptr<GroupNode>> nodes;
+  for (int i = 0; i < 5; ++i) nodes.push_back(std::make_unique<GroupNode>(network, opts));
+
+  const View initial(1, {nodes[0]->id(), nodes[1]->id(), nodes[2]->id(), nodes[3]->id()});
+  for (int i = 0; i < 4; ++i) nodes[i]->start(initial);
+  nodes[4]->start(View(1, {nodes[4]->id()}));  // outside the group for now
+
+  std::printf("initial view: %s\n", nodes[0]->membership().view_snapshot().describe().c_str());
+
+  // A broadcast before the join: only the four members receive it.
+  nodes[1]->rbcast("pre-join");
+  wait_until([&] { return nodes[3]->sink().rdelivered().size() == 1; });
+
+  // Site 4 joins while site 1 keeps broadcasting.
+  nodes[0]->request_join(nodes[4]->id());
+  for (int i = 0; i < 10; ++i) {
+    nodes[1]->rbcast("burst-" + std::to_string(i));
+    std::this_thread::sleep_for(std::chrono::microseconds(400));
+  }
+  wait_until([&] { return nodes[4]->membership().view_snapshot().size() == 5; });
+  nodes[1]->rbcast("post-join");
+  wait_until([&] {
+    const auto got = nodes[4]->sink().rdelivered();
+    for (const auto& m : got) {
+      if (m.data == "post-join") return true;
+    }
+    return false;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("view after join: %s\n",
+              nodes[0]->membership().view_snapshot().describe().c_str());
+  std::int64_t discarded = 0;
+  for (auto& n : nodes) {
+    std::printf("site %u delivered %zu broadcasts\n", n->id().value(),
+                n->sink().rdelivered().size());
+    discarded += static_cast<std::int64_t>(n->rel_comm().discarded_out_of_view());
+  }
+  std::printf(
+      "messages silently discarded to stale views: %lld\n"
+      "(always 0 under an isolation-preserving controller; see\n"
+      " bench_viewchange for the unsynchronised counter-example)\n",
+      static_cast<long long>(discarded));
+
+  for (auto& n : nodes) n->stop_timers();
+  return 0;
+}

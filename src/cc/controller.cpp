@@ -1,0 +1,54 @@
+#include "cc/controller.hpp"
+
+#include "cc/serial.hpp"
+#include "cc/unsync.hpp"
+#include "cc/vca_basic.hpp"
+#include "cc/vca_bound.hpp"
+#include "cc/vca_route.hpp"
+#include "cc/tso.hpp"
+#include "cc/vca_rw.hpp"
+#include "core/errors.hpp"
+
+namespace samoa {
+
+const char* to_string(CCPolicy policy) {
+  switch (policy) {
+    case CCPolicy::kSerial:
+      return "serial";
+    case CCPolicy::kUnsync:
+      return "unsync";
+    case CCPolicy::kVCABasic:
+      return "VCAbasic";
+    case CCPolicy::kVCABound:
+      return "VCAbound";
+    case CCPolicy::kVCARoute:
+      return "VCAroute";
+    case CCPolicy::kVCARW:
+      return "VCArw";
+    case CCPolicy::kTSO:
+      return "TSO";
+  }
+  return "?";
+}
+
+std::unique_ptr<ConcurrencyController> make_controller(CCPolicy policy) {
+  switch (policy) {
+    case CCPolicy::kSerial:
+      return std::make_unique<SerialController>();
+    case CCPolicy::kUnsync:
+      return std::make_unique<UnsyncController>();
+    case CCPolicy::kVCABasic:
+      return std::make_unique<VCABasicController>();
+    case CCPolicy::kVCABound:
+      return std::make_unique<VCABoundController>();
+    case CCPolicy::kVCARoute:
+      return std::make_unique<VCARouteController>();
+    case CCPolicy::kVCARW:
+      return std::make_unique<VCARWController>();
+    case CCPolicy::kTSO:
+      return std::make_unique<TSOController>();
+  }
+  throw ConfigError("unknown CCPolicy");
+}
+
+}  // namespace samoa

@@ -1,0 +1,72 @@
+#include "cc/routing_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/errors.hpp"
+
+namespace samoa {
+
+void RoutingGraph::add_node(HandlerId h,
+                            const std::unordered_map<HandlerId, MicroprotocolId>& owners) {
+  if (closure_.contains(h)) return;
+  closure_.emplace(h, std::unordered_set<HandlerId>{});
+  auto it = owners.find(h);
+  if (it == owners.end()) {
+    throw ConfigError("RoutingGraph: handler without a resolved owner (route not resolved?)");
+  }
+  owners_.emplace(h, it->second);
+  auto& hs = mp_handlers_[it->second];
+  if (hs.empty()) mps_.push_back(it->second);
+  hs.push_back(h);
+}
+
+RoutingGraph::RoutingGraph(const RouteSpec& spec,
+                           const std::unordered_map<HandlerId, MicroprotocolId>& owners) {
+  for (HandlerId h : spec.entries) {
+    add_node(h, owners);
+    entries_.insert(h);
+  }
+  std::unordered_map<HandlerId, std::vector<HandlerId>> adj;
+  for (const auto& [from, to] : spec.edges) {
+    add_node(from, owners);
+    add_node(to, owners);
+    adj[from].push_back(to);
+  }
+  // Transitive closure by BFS from every node (graphs are tiny).
+  for (auto& [node, succ] : closure_) {
+    std::deque<HandlerId> queue(adj[node].begin(), adj[node].end());
+    while (!queue.empty()) {
+      const HandlerId cur = queue.front();
+      queue.pop_front();
+      if (!succ.insert(cur).second) continue;
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (HandlerId next : it->second) queue.push_back(next);
+    }
+  }
+}
+
+bool RoutingGraph::has_path(HandlerId from, HandlerId to) const {
+  auto it = closure_.find(from);
+  return it != closure_.end() && it->second.contains(to);
+}
+
+std::unordered_set<HandlerId> RoutingGraph::reachable_from(
+    const std::vector<HandlerId>& sources) const {
+  std::unordered_set<HandlerId> out;
+  for (HandlerId s : sources) {
+    out.insert(s);
+    auto it = closure_.find(s);
+    if (it == closure_.end()) continue;
+    out.insert(it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+std::unordered_set<HandlerId> RoutingGraph::reachable_from_root() const {
+  std::vector<HandlerId> entries(entries_.begin(), entries_.end());
+  return reachable_from(entries);
+}
+
+}  // namespace samoa

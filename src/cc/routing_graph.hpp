@@ -1,0 +1,55 @@
+// Routing graphs for VCAroute (paper Section 5.3).
+//
+// The declaration of `isolated route M e` is a directed graph over handler
+// names: an arrow h1 -> h2 states that the body of h1 may call h2, and the
+// entry set lists the handlers the root expression e may call directly.
+// Graphs are small (a handful of handlers), so we precompute the
+// transitive closure at admission and answer path and reachability queries
+// from it in O(1)/O(nodes).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/isolation.hpp"
+#include "util/ids.hpp"
+
+namespace samoa {
+
+class RoutingGraph {
+ public:
+  RoutingGraph(const RouteSpec& spec,
+               const std::unordered_map<HandlerId, MicroprotocolId>& owners);
+
+  bool has_node(HandlerId h) const { return closure_.contains(h); }
+  bool is_entry(HandlerId h) const { return entries_.contains(h); }
+
+  /// True if the body of `from` may (transitively) call `to`:
+  /// there is a directed path of length >= 1 from `from` to `to`.
+  bool has_path(HandlerId from, HandlerId to) const;
+
+  MicroprotocolId owner(HandlerId h) const { return owners_.at(h); }
+  const std::vector<MicroprotocolId>& microprotocols() const { return mps_; }
+  const std::vector<HandlerId>& handlers_of(MicroprotocolId mp) const {
+    return mp_handlers_.at(mp);
+  }
+
+  /// All handlers reachable (path length >= 0) from any of `sources`.
+  std::unordered_set<HandlerId> reachable_from(const std::vector<HandlerId>& sources) const;
+
+  /// All handlers reachable from the entry set (the virtual ROOT node),
+  /// including the entries themselves.
+  std::unordered_set<HandlerId> reachable_from_root() const;
+
+ private:
+  void add_node(HandlerId h, const std::unordered_map<HandlerId, MicroprotocolId>& owners);
+
+  std::unordered_set<HandlerId> entries_;
+  std::unordered_map<HandlerId, std::unordered_set<HandlerId>> closure_;  // strict successors
+  std::unordered_map<HandlerId, MicroprotocolId> owners_;
+  std::unordered_map<MicroprotocolId, std::vector<HandlerId>> mp_handlers_;
+  std::vector<MicroprotocolId> mps_;
+};
+
+}  // namespace samoa

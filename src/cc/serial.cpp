@@ -1,0 +1,42 @@
+#include "cc/serial.hpp"
+
+namespace samoa {
+
+class SerialComputationCC : public ComputationCC {
+ public:
+  SerialComputationCC(SerialController& ctrl, std::uint64_t ticket)
+      : ctrl_(ctrl), ticket_(ticket) {}
+
+  void on_start() override {
+    std::unique_lock lock(ctrl_.mu_);
+    if (ctrl_.now_serving_ != ticket_) {
+      ctrl_.stats_.gate_waits.add();
+      const auto start = Clock::now();
+      ctrl_.cv_.wait(lock, [&] { return ctrl_.now_serving_ == ticket_; });
+      ctrl_.stats_.gate_wait_time.record(
+          std::chrono::duration_cast<Nanos>(Clock::now() - start));
+    }
+  }
+
+  void on_issue(HandlerId, const Handler&) override {}
+  void before_execute(const Handler&) override {}
+  void after_execute(const Handler&) override {}
+
+  void on_complete() override {
+    std::unique_lock lock(ctrl_.mu_);
+    ++ctrl_.now_serving_;
+    ctrl_.cv_.notify_all();
+  }
+
+ private:
+  SerialController& ctrl_;
+  std::uint64_t ticket_;
+};
+
+std::unique_ptr<ComputationCC> SerialController::admit(ComputationId, const Isolation&) {
+  stats_.admissions.add();
+  std::unique_lock lock(mu_);
+  return std::make_unique<SerialComputationCC>(*this, next_ticket_++);
+}
+
+}  // namespace samoa

@@ -1,0 +1,33 @@
+// Serial controller — the Appia-like baseline.
+//
+// Computations execute one at a time, in spawn (FIFO) order: the simplest
+// way to satisfy the isolation property ("the simplest possible solution
+// would be to block spawning of a new computation until any other
+// computations complete", paper Section 5). spawn_isolated itself never
+// blocks (an Appia channel enqueues external events); the computation's
+// root task waits for its turn instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "cc/controller.hpp"
+
+namespace samoa {
+
+class SerialController : public ConcurrencyController {
+ public:
+  std::unique_ptr<ComputationCC> admit(ComputationId k, const Isolation& spec) override;
+  const char* name() const override { return "serial"; }
+
+ private:
+  friend class SerialComputationCC;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t now_serving_ = 0;
+};
+
+}  // namespace samoa

@@ -1,0 +1,95 @@
+#include "cc/tso.hpp"
+
+#include "core/errors.hpp"
+
+namespace samoa {
+
+class TSOComputationCC : public ComputationCC {
+ public:
+  TSOComputationCC(TSOController& ctrl, std::uint64_t ts) : ctrl_(ctrl), ts_(ts) {}
+
+  bool allows_async() const override { return false; }
+
+  void on_issue(HandlerId, const Handler&) override {
+    // No declaration to validate: conflicts are discovered at claim time.
+  }
+
+  void before_execute(const Handler& h) override {
+    const MicroprotocolId mp = h.owner().id();
+    std::unique_lock lock(ctrl_.mu_);
+    if (held_.contains(mp)) return;  // re-entry on an owned microprotocol
+    auto& claim = ctrl_.claims_[mp];
+    const auto start = Clock::now();
+    bool waited = false;
+    while (claim.held && claim.holder_ts != ts_) {
+      if (ts_ > claim.holder_ts) {
+        // Wait-die: the younger computation dies (rolls back + restarts,
+        // keeping its timestamp); waits only ever point old -> young.
+        ctrl_.restarts_.add();
+        death_mp_ = mp;
+        throw RestartNeeded{ts_};
+      }
+      // Older than the holder: wait, but only until the *holder changes* —
+      // the claim may be released and re-grabbed by an even older
+      // computation, in which case the die-vs-wait decision must be
+      // re-evaluated (waiting on an older holder would break wait-die's
+      // old->young wait invariant and allow deadlock).
+      waited = true;
+      ctrl_.stats_.gate_waits.add();
+      const std::uint64_t observed_holder = claim.holder_ts;
+      ctrl_.cv_.wait(lock, [&] { return !claim.held || claim.holder_ts != observed_holder; });
+    }
+    if (waited) {
+      ctrl_.stats_.gate_wait_time.record(
+          std::chrono::duration_cast<Nanos>(Clock::now() - start));
+    }
+    claim.held = true;
+    claim.holder_ts = ts_;
+    held_.insert(mp);
+  }
+
+  void after_execute(const Handler&) override {
+    // Strictness: claims are held to completion, not per call.
+  }
+
+  void on_complete() override { release_all(); }
+
+  /// Restart path: drop every claim (the undo log rolls back afterwards),
+  /// then wait — holding nothing, so no deadlock risk — until the claim
+  /// that killed us is free. Retrying immediately would just die again
+  /// while the older holder still runs.
+  void on_abort() override {
+    release_all();
+    if (!death_mp_.valid()) return;
+    std::unique_lock lock(ctrl_.mu_);
+    auto& claim = ctrl_.claims_[death_mp_];
+    ctrl_.cv_.wait(lock, [&] { return !claim.held || claim.holder_ts >= ts_; });
+    death_mp_ = MicroprotocolId{};
+  }
+
+  std::uint64_t timestamp() const { return ts_; }
+
+ private:
+  void release_all() {
+    std::unique_lock lock(ctrl_.mu_);
+    for (MicroprotocolId mp : held_) {
+      auto& claim = ctrl_.claims_[mp];
+      if (claim.held && claim.holder_ts == ts_) claim.held = false;
+    }
+    held_.clear();
+    ctrl_.cv_.notify_all();
+  }
+
+  TSOController& ctrl_;
+  std::uint64_t ts_;
+  std::unordered_set<MicroprotocolId> held_;
+  MicroprotocolId death_mp_;  // claim that triggered the last wait-die loss
+};
+
+std::unique_ptr<ComputationCC> TSOController::admit(ComputationId, const Isolation&) {
+  stats_.admissions.add();
+  std::unique_lock lock(mu_);
+  return std::make_unique<TSOComputationCC>(*this, next_ts_++);
+}
+
+}  // namespace samoa

@@ -1,0 +1,63 @@
+// TSO — strict timestamp ordering with rollback and restart.
+//
+// The paper classifies its deadlock-free algorithms into "1) versioning
+// algorithms with allocation of access to event handlers, and 2)
+// timestamp-ordering algorithms with rollback/recovery", and details only
+// the first group. This module implements the second group's approach:
+//
+//  * every computation gets a monotone timestamp at admission;
+//  * the first handler call on a microprotocol p *claims* p for the
+//    computation, and claims are held until the computation completes
+//    (strictness: no other computation ever observes uncommitted state);
+//  * conflicts resolve by wait-die — an older computation (smaller
+//    timestamp) waits for the claim holder; a younger one rolls back its
+//    TxVar state (undo log) and restarts with a fresh timestamp. Waits
+//    only ever point old -> young, so no cycle can form: deadlock-free,
+//    like the versioning family, but via restarts instead of declared
+//    version order.
+//
+// The trade-offs versus the versioning family, measured in bench_tso:
+//  + no declaration needed — conflicts are discovered dynamically, so an
+//    unknowable M (the paper's reason to fall back from the optimised
+//    variants) costs nothing;
+//  - state must live in TxVar cells (rollback), computations must be
+//    restartable (single-threaded, no external side effects), and heavy
+//    contention burns work on restarts.
+//
+// Asynchronous triggers are rejected under TSO (a restart cannot recall
+// an in-flight sibling task).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cc/controller.hpp"
+#include "util/stats.hpp"
+
+namespace samoa {
+
+class TSOController : public ConcurrencyController {
+ public:
+  std::unique_ptr<ComputationCC> admit(ComputationId k, const Isolation& spec) override;
+  const char* name() const override { return "TSO"; }
+
+  std::uint64_t restarts() const { return restarts_.value(); }
+
+ private:
+  friend class TSOComputationCC;
+
+  struct Claim {
+    bool held = false;
+    std::uint64_t holder_ts = 0;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_ts_ = 1;
+  std::unordered_map<MicroprotocolId, Claim> claims_;
+  Counter restarts_;
+};
+
+}  // namespace samoa

@@ -1,0 +1,22 @@
+#include "cc/unsync.hpp"
+
+namespace samoa {
+
+namespace {
+
+class UnsyncComputationCC : public ComputationCC {
+ public:
+  void on_issue(HandlerId, const Handler&) override {}
+  void before_execute(const Handler&) override {}
+  void after_execute(const Handler&) override {}
+  void on_complete() override {}
+};
+
+}  // namespace
+
+std::unique_ptr<ComputationCC> UnsyncController::admit(ComputationId, const Isolation&) {
+  stats_.admissions.add();
+  return std::make_unique<UnsyncComputationCC>();
+}
+
+}  // namespace samoa

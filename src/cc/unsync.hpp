@@ -1,0 +1,22 @@
+// Unsynchronised controller — the Cactus-like baseline.
+//
+// Cactus "does not restrict the amount of concurrency but ... depends on
+// the programmer, who must implement the required synchronisation policy
+// using standard language facilities" (paper Section 1). This controller
+// gates nothing: computations interleave freely, so protocols are only
+// correct if they synchronise by hand (see the manual-lock variants in the
+// benchmarks) — or they exhibit exactly the class of bugs Section 3
+// describes, which the tests and bench_viewchange demonstrate.
+#pragma once
+
+#include "cc/controller.hpp"
+
+namespace samoa {
+
+class UnsyncController : public ConcurrencyController {
+ public:
+  std::unique_ptr<ComputationCC> admit(ComputationId k, const Isolation& spec) override;
+  const char* name() const override { return "unsync"; }
+};
+
+}  // namespace samoa

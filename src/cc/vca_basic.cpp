@@ -1,0 +1,63 @@
+#include "cc/vca_basic.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "core/errors.hpp"
+
+namespace samoa {
+
+class VCABasicComputationCC : public ComputationCC {
+ public:
+  VCABasicComputationCC(VCABasicController& ctrl, ComputationId k,
+                        std::unordered_map<MicroprotocolId, std::uint64_t> pv)
+      : ctrl_(ctrl), k_(k), pv_(std::move(pv)) {}
+
+  void on_issue(HandlerId, const Handler& h) override {
+    if (!pv_.contains(h.owner().id())) {
+      std::ostringstream os;
+      os << "isolated: computation " << k_ << " called handler '" << h.name()
+         << "' of undeclared microprotocol '" << h.owner().name() << "'";
+      throw IsolationError(os.str());
+    }
+  }
+
+  void before_execute(const Handler& h) override {
+    const auto pv = pv_.at(h.owner().id());
+    ctrl_.gates_.gate(h.owner().id()).wait_exact(pv - 1, ctrl_.stats_);
+  }
+
+  void after_execute(const Handler&) override {}
+
+  void on_complete() override {
+    // Step 3: upgrade in admission order is implied — each wait_exact can
+    // only be satisfied once every older computation upgraded, so the
+    // iteration order over pv_ is irrelevant for correctness.
+    for (const auto& [mp, pv] : pv_) {
+      auto& gate = ctrl_.gates_.gate(mp);
+      gate.wait_exact(pv - 1, ctrl_.stats_);
+      gate.set_lv(pv);
+    }
+  }
+
+ private:
+  VCABasicController& ctrl_;
+  ComputationId k_;
+  std::unordered_map<MicroprotocolId, std::uint64_t> pv_;
+};
+
+std::unique_ptr<ComputationCC> VCABasicController::admit(ComputationId k, const Isolation& spec) {
+  stats_.admissions.add();
+  // Steps 1 and 2 are required to be atomic; the admission mutex makes the
+  // multi-microprotocol gv upgrade a single indivisible step.
+  std::unordered_map<MicroprotocolId, std::uint64_t> pv;
+  {
+    std::unique_lock lock(admission_mu_);
+    for (MicroprotocolId mp : spec.members()) {
+      pv.emplace(mp, gates_.gate(mp).admit(1));
+    }
+  }
+  return std::make_unique<VCABasicComputationCC>(*this, k, std::move(pv));
+}
+
+}  // namespace samoa

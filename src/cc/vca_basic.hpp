@@ -1,0 +1,34 @@
+// VCAbasic — the Basic Version-Counting Algorithm (paper Section 5.1).
+//
+// Step 1  (admit, atomic): for each declared microprotocol p, gv_p += 1;
+//         the computation's private version pv[p] is the upgraded gv_p.
+// Step 2  (before_execute): a handler of p may run only when
+//         pv[p] - 1 == lv_p.
+// Step 3  (on_complete): for each p in M, wait until pv[p] - 1 == lv_p,
+//         then upgrade lv_p = pv[p].
+//
+// Deadlock-free: admissions are atomic across all of M, so the version
+// order between any two computations is identical on every shared
+// microprotocol — the wait-for relation is a total order.
+#pragma once
+
+#include <mutex>
+
+#include "cc/controller.hpp"
+#include "cc/version_gate.hpp"
+
+namespace samoa {
+
+class VCABasicController : public ConcurrencyController {
+ public:
+  std::unique_ptr<ComputationCC> admit(ComputationId k, const Isolation& spec) override;
+  const char* name() const override { return "VCAbasic"; }
+
+ private:
+  friend class VCABasicComputationCC;
+
+  std::mutex admission_mu_;
+  GateTable gates_;
+};
+
+}  // namespace samoa

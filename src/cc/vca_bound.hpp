@@ -1,0 +1,35 @@
+// VCAbound — Version-Counting with Least-Upper-Bound (paper Section 5.2).
+//
+// The declaration carries, for each microprotocol p, the least upper bound
+// bound[p] on the number of times the computation may visit p. Admission
+// advances gv_p by bound[p], giving the computation the version *window*
+// [pv - bound, pv). Rule 4 increments lv_p after every completed handler
+// execution, so once a computation used up its budget on p, lv_p reaches
+// pv[p] and the *next* computation's window opens — before the current one
+// completes. This is the extra parallelism over VCAbasic.
+//
+// Exhausting the declared bound raises IsolationError at issue time, as
+// required by Section 4 ("a runtime error exception will be thrown if the
+// number is exhausted").
+#pragma once
+
+#include <mutex>
+
+#include "cc/controller.hpp"
+#include "cc/version_gate.hpp"
+
+namespace samoa {
+
+class VCABoundController : public ConcurrencyController {
+ public:
+  std::unique_ptr<ComputationCC> admit(ComputationId k, const Isolation& spec) override;
+  const char* name() const override { return "VCAbound"; }
+
+ private:
+  friend class VCABoundComputationCC;
+
+  std::mutex admission_mu_;
+  GateTable gates_;
+};
+
+}  // namespace samoa

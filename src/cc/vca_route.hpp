@@ -1,0 +1,40 @@
+// VCAroute — Version-Counting with Routing Pattern (paper Section 5.3).
+//
+// The declaration is a directed graph of handler calls. Compared to
+// VCAbasic, the algorithm can *release a microprotocol early*: once all of
+// p's handlers are inactive and none is reachable from a still-active
+// handler, p can never be visited again by this computation, so its local
+// version can be upgraded before the computation completes (Rule 4(b)).
+//
+// Two fidelity points, both tested:
+//  * A handler becomes "active" the moment the event targeting it is
+//    issued (the paper's Rule 2 parenthetical: the caller "must not be
+//    allowed to complete before this change comes into effect") —
+//    otherwise a finished caller with a still-queued asynchronous callee
+//    would let Rule 4(b) release the callee's microprotocol prematurely.
+//  * Rule 4(b)'s upgrade "lv_p = pv[p]_k" must not jump over older
+//    computations' turns; the upgrade is therefore deferred until lv_p
+//    reaches pv[p]_k - 1 (VersionGate::schedule_set), preserving the
+//    version order on which the isolation proof rests.
+#pragma once
+
+#include <mutex>
+
+#include "cc/controller.hpp"
+#include "cc/version_gate.hpp"
+
+namespace samoa {
+
+class VCARouteController : public ConcurrencyController {
+ public:
+  std::unique_ptr<ComputationCC> admit(ComputationId k, const Isolation& spec) override;
+  const char* name() const override { return "VCAroute"; }
+
+ private:
+  friend class VCARouteComputationCC;
+
+  std::mutex admission_mu_;
+  GateTable gates_;
+};
+
+}  // namespace samoa

@@ -1,0 +1,58 @@
+// VCArw — version counting with read/write access modes.
+//
+// Implements the paper's future-work direction (Section 7): "introduce
+// different types of handlers (e.g. read-only, read-and-write) and several
+// levels of isolation". A computation declares, per microprotocol, whether
+// it will only call read-only handlers (Access::kRead) or needs exclusive
+// access (Access::kWrite).
+//
+// Versioning with reader groups:
+//  * a Write admission takes a fresh exclusive version pv = ++gv (exactly
+//    VCAbasic semantics);
+//  * consecutive Read admissions *join a reader group* sharing one version
+//    — all of them pass the gate (lv == pv - 1) together and execute
+//    concurrently on the microprotocol; the group's version is upgraded
+//    when its last member completes.
+// A group is joinable while it has live members and its turn has not
+// passed; otherwise a fresh group starts. Read/write and write/write
+// conflicts remain ordered by version, so the execution stays
+// conflict-serializable: only read-read accesses overlap, and those
+// commute.
+//
+// Declaring Access::kRead and then calling a read-and-write handler throws
+// IsolationError at issue time (the declaration is the contract, as with
+// bounds and routes).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "cc/controller.hpp"
+#include "cc/version_gate.hpp"
+
+namespace samoa {
+
+class VCARWController : public ConcurrencyController {
+ public:
+  std::unique_ptr<ComputationCC> admit(ComputationId k, const Isolation& spec) override;
+  const char* name() const override { return "VCArw"; }
+
+ private:
+  friend class VCARWComputationCC;
+
+  /// Reader-group bookkeeping per microprotocol; guarded by admission_mu_.
+  struct RwState {
+    /// The group currently accepting joiners (0: none — either no reader
+    /// group exists or a writer was admitted after it).
+    std::uint64_t joinable_version = 0;
+    /// Live readers per group version; the last member out upgrades the
+    /// gate and erases the entry.
+    std::unordered_map<std::uint64_t, std::uint64_t> group_members;
+  };
+
+  std::mutex admission_mu_;
+  GateTable gates_;
+  std::unordered_map<MicroprotocolId, RwState> rw_;
+};
+
+}  // namespace samoa

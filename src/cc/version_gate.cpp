@@ -1,0 +1,84 @@
+#include "cc/version_gate.hpp"
+
+#include <stdexcept>
+
+namespace samoa {
+
+std::uint64_t VersionGate::admit(std::uint64_t delta) {
+  std::unique_lock lock(mu_);
+  gv_ += delta;
+  return gv_;
+}
+
+void VersionGate::wait_exact(std::uint64_t pv_minus_1, CCStats& stats) {
+  std::unique_lock lock(mu_);
+  if (lv_ == pv_minus_1) return;
+  stats.gate_waits.add();
+  const auto start = Clock::now();
+  cv_.wait(lock, [&] { return lv_ == pv_minus_1; });
+  stats.gate_wait_time.record(std::chrono::duration_cast<Nanos>(Clock::now() - start));
+}
+
+void VersionGate::wait_window(std::uint64_t lo, std::uint64_t hi, CCStats& stats) {
+  std::unique_lock lock(mu_);
+  auto in_window = [&] { return lo <= lv_ && lv_ < hi; };
+  if (in_window()) return;
+  stats.gate_waits.add();
+  const auto start = Clock::now();
+  cv_.wait(lock, in_window);
+  stats.gate_wait_time.record(std::chrono::duration_cast<Nanos>(Clock::now() - start));
+}
+
+void VersionGate::set_lv(std::uint64_t v) {
+  std::unique_lock lock(mu_);
+  if (v < lv_) throw std::logic_error("VersionGate: local version downgrade");
+  lv_ = v;
+  apply_deferred_locked();
+  cv_.notify_all();
+}
+
+void VersionGate::increment_lv() {
+  std::unique_lock lock(mu_);
+  ++lv_;
+  apply_deferred_locked();
+  cv_.notify_all();
+}
+
+void VersionGate::schedule_set(std::uint64_t trigger, std::uint64_t to) {
+  std::unique_lock lock(mu_);
+  if (lv_ == trigger) {
+    lv_ = to;
+    apply_deferred_locked();
+    cv_.notify_all();
+    return;
+  }
+  if (lv_ > trigger) {
+    // The turn already passed (possible only if the caller raced a direct
+    // upgrade); the scheduled value must then be stale or equal.
+    return;
+  }
+  deferred_.emplace(trigger, to);
+}
+
+void VersionGate::apply_deferred_locked() {
+  auto it = deferred_.find(lv_);
+  while (it != deferred_.end()) {
+    lv_ = it->second;
+    deferred_.erase(it);
+    it = deferred_.find(lv_);
+  }
+}
+
+std::uint64_t VersionGate::lv() const {
+  std::unique_lock lock(mu_);
+  return lv_;
+}
+
+VersionGate& GateTable::gate(MicroprotocolId mp) {
+  std::unique_lock lock(mu_);
+  auto& slot = gates_[mp];
+  if (!slot) slot = std::make_unique<VersionGate>();
+  return *slot;
+}
+
+}  // namespace samoa

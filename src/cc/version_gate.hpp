@@ -1,0 +1,77 @@
+// Version gates — the shared half of the versioning algorithms.
+//
+// Each microprotocol p has one gate holding the pair of counters from the
+// paper: the global version gv_p (bumped at admission, Step 1) and the
+// local version lv_p (the version currently allowed to run, upgraded at
+// completion, Step 3, or incrementally by VCAbound's Rule 4 / VCAroute's
+// Rule 4(b)). The mutex lives with the counters it guards (CP.50); every
+// wait is a condition wait (CP.42).
+//
+// `schedule_set` implements VCAroute's early release correctly: Rule 4(b)
+// says "upgrade lv_p = pv[p]_k", but doing so before lv_p has reached
+// pv[p]_k - 1 would skip over older computations' turns and break the
+// version order the correctness proofs rely on. The deferred upgrade fires
+// the moment lv_p reaches the scheduled trigger value.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cc/controller.hpp"
+#include "util/ids.hpp"
+
+namespace samoa {
+
+class VersionGate {
+ public:
+  /// Step 1: gv += delta; returns the upgraded gv (the computation's
+  /// private version pv for this microprotocol). The caller must hold the
+  /// controller's admission mutex so multi-microprotocol admissions are
+  /// atomic.
+  std::uint64_t admit(std::uint64_t delta);
+
+  /// Rule 2 of VCAbasic/VCAroute: block until lv == pv - 1.
+  void wait_exact(std::uint64_t pv_minus_1, CCStats& stats);
+
+  /// Rule 2 of VCAbound: block until lo <= lv < hi.
+  void wait_window(std::uint64_t lo, std::uint64_t hi, CCStats& stats);
+
+  /// Step 3: lv = v (monotone; asserts no downgrade), then fire deferred
+  /// upgrades and wake waiters.
+  void set_lv(std::uint64_t v);
+
+  /// VCAbound Rule 4: ++lv.
+  void increment_lv();
+
+  /// VCAroute Rule 4(b): when lv reaches `trigger`, set lv = `to`.
+  /// Applied immediately if lv == trigger already.
+  void schedule_set(std::uint64_t trigger, std::uint64_t to);
+
+  std::uint64_t lv() const;
+
+ private:
+  void apply_deferred_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t gv_ = 0;
+  std::uint64_t lv_ = 0;
+  std::map<std::uint64_t, std::uint64_t> deferred_;  // trigger lv -> new lv
+};
+
+/// Lazily-populated table of gates, one per microprotocol, shared by all
+/// computations of a controller.
+class GateTable {
+ public:
+  VersionGate& gate(MicroprotocolId mp);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<MicroprotocolId, std::unique_ptr<VersionGate>> gates_;
+};
+
+}  // namespace samoa

@@ -1,0 +1,59 @@
+#include "core/computation.hpp"
+
+#include <stdexcept>
+
+#include "core/runtime.hpp"
+
+namespace samoa {
+
+Computation::Computation(Runtime& runtime, ComputationId id, Isolation spec,
+                         std::unique_ptr<ComputationCC> cc)
+    : runtime_(runtime), id_(id), spec_(std::move(spec)), cc_(std::move(cc)) {}
+
+void Computation::task_started() { pending_tasks_.fetch_add(1, std::memory_order_acq_rel); }
+
+void Computation::task_finished() {
+  const auto prev = pending_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+  if (prev == 0) throw std::logic_error("Computation::task_finished without task_started");
+  if (prev == 1) finalize();
+}
+
+void Computation::finalize() {
+  // The computation's execution is complete here (all tasks terminated);
+  // record kDone before Step 3 releases any version, so that a successor's
+  // first kStart always follows this computation's kDone in the trace.
+  runtime_.record_computation_done(id_);
+  // Step 3 of the algorithms: may block until older computations released
+  // the shared microprotocols. Runs exactly once, on the thread of the
+  // last task to finish.
+  try {
+    cc_->on_complete();
+  } catch (...) {
+    record_error(std::current_exception());
+  }
+  // Book-keeping before the completion signal: a waiter woken by
+  // completed_ must observe the runtime's final counters.
+  runtime_.on_computation_done(id_);
+  completed_.set();
+}
+
+void Computation::record_error(std::exception_ptr e) {
+  std::unique_lock lock(error_mu_);
+  if (!first_error_) first_error_ = std::move(e);
+}
+
+bool Computation::failed() const {
+  std::unique_lock lock(error_mu_);
+  return first_error_ != nullptr;
+}
+
+void Computation::rethrow_if_error() const {
+  std::exception_ptr e;
+  {
+    std::unique_lock lock(error_mu_);
+    e = first_error_;
+  }
+  if (e) std::rethrow_exception(e);
+}
+
+}  // namespace samoa

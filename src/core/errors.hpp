@@ -1,0 +1,48 @@
+// Exception hierarchy of samoa-cpp.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace samoa {
+
+/// Base class for all errors raised by the framework.
+class SamoaError : public std::runtime_error {
+ public:
+  explicit SamoaError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A computation violated its isolation declaration: it tried to call a
+/// handler of a microprotocol outside M (VCAbasic), exhausted a declared
+/// least upper bound (VCAbound), or followed a route absent from the
+/// declared routing pattern (VCAroute). Thrown in the thread that issued
+/// the offending event, as specified in Section 4 of the paper.
+class IsolationError : public SamoaError {
+ public:
+  explicit IsolationError(const std::string& what) : SamoaError(what) {}
+};
+
+/// Static misconfiguration: unbound event types, bind-after-seal, spec
+/// kind incompatible with the runtime's concurrency-control policy, ...
+class ConfigError : public SamoaError {
+ public:
+  explicit ConfigError(const std::string& what) : SamoaError(what) {}
+};
+
+/// Payload type mismatch when reading a Message.
+class MessageTypeError : public SamoaError {
+ public:
+  explicit MessageTypeError(const std::string& what) : SamoaError(what) {}
+};
+
+/// Internal control-flow signal of the TSO (timestamp-ordering) controller:
+/// the computation lost a wait-die conflict and must roll back and restart
+/// with a fresh timestamp. It unwinds through handler frames to the
+/// runtime's restart loop — handler code must let it pass (do not swallow
+/// with catch(...)).
+struct RestartNeeded {
+  std::uint64_t loser_timestamp = 0;
+};
+
+}  // namespace samoa

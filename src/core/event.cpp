@@ -1,0 +1,16 @@
+#include "core/event.hpp"
+
+namespace samoa {
+
+namespace {
+IdAllocator<EventTypeTag>& event_type_ids() {
+  static IdAllocator<EventTypeTag> alloc;
+  return alloc;
+}
+}  // namespace
+
+EventType::EventType(std::string name)
+    : id_(event_type_ids().next()),
+      name_(std::make_shared<const std::string>(std::move(name))) {}
+
+}  // namespace samoa

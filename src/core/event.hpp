@@ -1,0 +1,74 @@
+// Event types and messages.
+//
+// In the SAMOA model (paper Section 2), executions of handlers are
+// triggered by *events*; each event carries an event type, and only
+// handlers bound to that type run in response. Event types are first-class
+// values: they can be stored, passed to handlers, and used as keys.
+#pragma once
+
+#include <any>
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <utility>
+
+#include "core/errors.hpp"
+#include "util/ids.hpp"
+
+namespace samoa {
+
+/// A named, process-unique event type. Copies are cheap and share identity
+/// (two copies of the same EventType compare equal; two EventTypes created
+/// with the same name are distinct, as in J-SAMOA where types are object
+/// instantiations of class Event).
+class EventType {
+ public:
+  explicit EventType(std::string name);
+
+  EventTypeId id() const { return id_; }
+  const std::string& name() const { return *name_; }
+
+  friend bool operator==(const EventType& a, const EventType& b) { return a.id_ == b.id_; }
+
+ private:
+  EventTypeId id_;
+  std::shared_ptr<const std::string> name_;
+};
+
+/// Type-erased event payload. Handlers receive a `const Message&` and read
+/// it with `as<T>()`; a mismatched type raises MessageTypeError rather
+/// than UB.
+class Message {
+ public:
+  Message() = default;
+
+  template <typename T>
+  static Message of(T value) {
+    Message m;
+    m.payload_ = std::move(value);
+    return m;
+  }
+
+  bool empty() const { return !payload_.has_value(); }
+
+  template <typename T>
+  const T& as() const {
+    const T* p = std::any_cast<T>(&payload_);
+    if (p == nullptr) {
+      throw MessageTypeError(std::string("Message payload is ") +
+                             (payload_.has_value() ? payload_.type().name() : "<empty>") +
+                             ", requested " + typeid(T).name());
+    }
+    return *p;
+  }
+
+  template <typename T>
+  bool holds() const {
+    return std::any_cast<T>(&payload_) != nullptr;
+  }
+
+ private:
+  std::any payload_;
+};
+
+}  // namespace samoa

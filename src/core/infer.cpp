@@ -1,0 +1,83 @@
+#include "core/infer.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "core/errors.hpp"
+
+namespace samoa {
+
+TriggerDeclarations& TriggerDeclarations::declare(const Handler& handler,
+                                                  const EventType& event) {
+  triggers_[handler.id()].push_back(event.id());
+  return *this;
+}
+
+const std::vector<EventTypeId>& TriggerDeclarations::triggers_of(HandlerId handler) const {
+  static const std::vector<EventTypeId> kEmpty;
+  auto it = triggers_.find(handler);
+  return it == triggers_.end() ? kEmpty : it->second;
+}
+
+namespace {
+
+/// BFS over bindings + declared triggers; visits every reachable handler.
+/// Calls `on_edge(from, to)` for each declared call edge (from invalid =
+/// root) and returns the visited handler set.
+template <typename OnEdge>
+std::unordered_set<HandlerId> walk(const Stack& stack, const TriggerDeclarations& decls,
+                                   const std::vector<EventType>& root_events, OnEdge on_edge) {
+  std::unordered_set<HandlerId> visited;
+  std::deque<const Handler*> queue;
+  auto expand = [&](HandlerId from, EventTypeId ev) {
+    for (const Handler* target : stack.bound_handlers(ev)) {
+      on_edge(from, *target);
+      if (visited.insert(target->id()).second) queue.push_back(target);
+    }
+  };
+  for (const EventType& ev : root_events) expand(HandlerId{}, ev.id());
+  while (!queue.empty()) {
+    const Handler* h = queue.front();
+    queue.pop_front();
+    for (EventTypeId ev : decls.triggers_of(h->id())) expand(h->id(), ev);
+  }
+  return visited;
+}
+
+}  // namespace
+
+Isolation infer_members(const Stack& stack, const TriggerDeclarations& decls,
+                        const std::vector<EventType>& root_events) {
+  std::vector<const Microprotocol*> members;
+  std::unordered_set<MicroprotocolId> seen;
+  auto visited = walk(stack, decls, root_events, [&](HandlerId, const Handler& to) {
+    if (seen.insert(to.owner().id()).second) members.push_back(&to.owner());
+  });
+  if (visited.empty()) {
+    throw ConfigError("infer_members: no handler is bound to any of the root event types");
+  }
+  return Isolation::basic(std::move(members));
+}
+
+Isolation infer_route(const Stack& stack, const TriggerDeclarations& decls,
+                      const std::vector<EventType>& root_events) {
+  RouteSpec spec;
+  std::unordered_set<std::uint64_t> edge_seen;
+  auto visited = walk(stack, decls, root_events, [&](HandlerId from, const Handler& to) {
+    if (!from.valid()) {
+      spec.entry(to);
+      return;
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(from.value()) << 32) | to.id().value();
+    if (edge_seen.insert(key).second) {
+      const Handler* from_handler = stack.find_handler(from);
+      spec.edge(*from_handler, to);
+    }
+  });
+  if (visited.empty()) {
+    throw ConfigError("infer_route: no handler is bound to any of the root event types");
+  }
+  return Isolation::route(std::move(spec));
+}
+
+}  // namespace samoa

@@ -1,0 +1,54 @@
+// Inference of isolation declarations.
+//
+// Section 4 of the paper remarks that "in the strongly-typed language, the
+// proper value of argument M could be inferred statically". C++ lambdas
+// are opaque, so samoa-cpp provides the moral equivalent: microprotocols
+// declare which event types each handler may trigger (cheap, checkable
+// metadata), and the inference walks the binding table to compute
+//
+//   * the microprotocol set M for `isolated M e`            (infer_members)
+//   * the handler graph for `isolated route M e`            (infer_route)
+//
+// from the set of event types the root expression may trigger. Inference
+// is conservative: it follows every declared trigger regardless of runtime
+// data, so the result over-approximates the actual call footprint — which
+// is exactly what a legal declaration needs (over-declaration is allowed,
+// under-declaration throws IsolationError at run time).
+#pragma once
+
+#include <vector>
+
+#include "core/isolation.hpp"
+#include "core/stack.hpp"
+
+namespace samoa {
+
+/// Registry of declared handler -> event-type triggers. Populate with
+/// declare() during protocol composition; handlers without declarations
+/// are treated as leaves (they trigger nothing).
+class TriggerDeclarations {
+ public:
+  /// Declare that `handler`'s body may trigger `event`.
+  TriggerDeclarations& declare(const Handler& handler, const EventType& event);
+
+  const std::vector<EventTypeId>& triggers_of(HandlerId handler) const;
+
+ private:
+  std::unordered_map<HandlerId, std::vector<EventTypeId>> triggers_;
+};
+
+/// Microprotocols whose handlers are reachable when the root expression
+/// triggers any of `root_events`, following `decls` over the stack's
+/// bindings. Usable directly as Isolation::basic(...) input — returns the
+/// ready declaration.
+Isolation infer_members(const Stack& stack, const TriggerDeclarations& decls,
+                        const std::vector<EventType>& root_events);
+
+/// The routing pattern for the same computation type: entries are the
+/// handlers bound to `root_events`; an edge h1 -> h2 exists when h1
+/// declares a trigger of an event type h2 is bound to. Returns the ready
+/// `isolated route` declaration (resolve happens at spawn).
+Isolation infer_route(const Stack& stack, const TriggerDeclarations& decls,
+                      const std::vector<EventType>& root_events);
+
+}  // namespace samoa

@@ -1,0 +1,36 @@
+#include "core/microprotocol.hpp"
+
+#include "core/errors.hpp"
+
+namespace samoa {
+
+namespace {
+IdAllocator<MicroprotocolTag>& mp_ids() {
+  static IdAllocator<MicroprotocolTag> alloc;
+  return alloc;
+}
+IdAllocator<HandlerTag>& handler_ids() {
+  static IdAllocator<HandlerTag> alloc;
+  return alloc;
+}
+}  // namespace
+
+Microprotocol::Microprotocol(std::string name) : id_(mp_ids().next()), name_(std::move(name)) {}
+
+Handler& Microprotocol::register_handler(std::string name, HandlerFn fn, HandlerMode mode) {
+  if (find_handler(name) != nullptr) {
+    throw ConfigError("microprotocol '" + name_ + "' already has handler '" + name + "'");
+  }
+  handlers_.push_back(std::make_unique<Handler>(*this, handler_ids().next(), std::move(name),
+                                                std::move(fn), mode));
+  return *handlers_.back();
+}
+
+const Handler* Microprotocol::find_handler(const std::string& name) const {
+  for (const auto& h : handlers_) {
+    if (h->name() == name) return h.get();
+  }
+  return nullptr;
+}
+
+}  // namespace samoa

@@ -1,0 +1,99 @@
+// Microprotocols and handlers.
+//
+// A microprotocol groups related event handlers around a shared local
+// state (paper Section 2). Execution of a handler may directly modify only
+// the local state of its own microprotocol; the protocol's state is the
+// disjoint union of microprotocol states. The concurrency-control
+// algorithms protect exactly this unit: version numbers guard access to a
+// microprotocol's object, which is only touched through handler calls.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "util/ids.hpp"
+
+namespace samoa {
+
+class Context;
+class Microprotocol;
+
+/// Body of an event handler.
+using HandlerFn = std::function<void(Context&, const Message&)>;
+
+/// Handler types, following the paper's future-work direction (Section 7:
+/// "introduce different types of handlers (e.g. read-only,
+/// read-and-write)"). A read-only handler promises not to modify its
+/// microprotocol's state; the VCArw controller lets read-only accesses of
+/// different computations share a microprotocol concurrently.
+enum class HandlerMode {
+  kReadWrite,  // default: may mutate the microprotocol's state
+  kReadOnly,   // promises not to mutate it
+};
+
+/// A named handler owned by a microprotocol. Handler identity (HandlerId)
+/// is process-unique so routing graphs can be expressed over handlers from
+/// different microprotocols.
+class Handler {
+ public:
+  Handler(Microprotocol& owner, HandlerId id, std::string name, HandlerFn fn,
+          HandlerMode mode = HandlerMode::kReadWrite)
+      : owner_(&owner), id_(id), name_(std::move(name)), fn_(std::move(fn)), mode_(mode) {}
+
+  Handler(const Handler&) = delete;
+  Handler& operator=(const Handler&) = delete;
+
+  HandlerId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Microprotocol& owner() const { return *owner_; }
+  HandlerMode mode() const { return mode_; }
+  bool read_only() const { return mode_ == HandlerMode::kReadOnly; }
+
+  void invoke(Context& ctx, const Message& msg) const { fn_(ctx, msg); }
+
+ private:
+  Microprotocol* owner_;
+  HandlerId id_;
+  std::string name_;
+  HandlerFn fn_;
+  HandlerMode mode_;
+};
+
+/// Base class for microprotocols. Subclasses register their handlers in
+/// their constructor via `register_handler` and keep their local state as
+/// ordinary data members — no locks needed: the runtime's concurrency
+/// control guarantees that handler executions of different computations on
+/// the same microprotocol never interleave (the isolation property).
+class Microprotocol {
+ public:
+  explicit Microprotocol(std::string name);
+  virtual ~Microprotocol() = default;
+
+  Microprotocol(const Microprotocol&) = delete;
+  Microprotocol& operator=(const Microprotocol&) = delete;
+
+  MicroprotocolId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  const std::vector<std::unique_ptr<Handler>>& handlers() const { return handlers_; }
+
+  /// Find a handler by name; returns nullptr if absent.
+  const Handler* find_handler(const std::string& name) const;
+
+ protected:
+  /// Register a handler. Typically called from a subclass constructor;
+  /// binding of event types to the returned handler happens separately on
+  /// the Stack.
+  Handler& register_handler(std::string name, HandlerFn fn,
+                            HandlerMode mode = HandlerMode::kReadWrite);
+
+ private:
+  MicroprotocolId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Handler>> handlers_;
+};
+
+}  // namespace samoa

@@ -1,0 +1,97 @@
+#include "core/runtime.hpp"
+
+#include "core/errors.hpp"
+
+namespace samoa {
+
+Runtime::Runtime(Stack& stack, RuntimeOptions opts)
+    : stack_(stack),
+      opts_(opts),
+      controller_(make_controller(opts.policy)),
+      trace_(opts.record_trace ? std::make_unique<TraceRecorder>() : nullptr),
+      pool_(ElasticThreadPool::Options{opts.min_threads, opts.max_threads,
+                                       std::chrono::milliseconds(200)}) {}
+
+Runtime::~Runtime() {
+  drain();
+  pool_.shutdown();
+}
+
+ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Context&)> root) {
+  if (!stack_.sealed()) stack_.seal();
+  if (spec.kind() == Isolation::Kind::Route) spec.resolve_route(stack_);
+
+  const ComputationId id = comp_ids_.next();
+  // Step 1 (atomic admission) happens inside the controller.
+  auto cc = controller_->admit(id, spec);
+  auto comp = std::make_shared<Computation>(*this, id, std::move(spec), std::move(cc));
+  if (opts_.policy == CCPolicy::kTSO) comp->enable_undo();
+
+  {
+    std::unique_lock lock(inflight_mu_);
+    inflight_.emplace(id, comp);
+  }
+  stats_.spawned.add();
+  if (trace_) trace_->record(TracePhase::kSpawn, id, MicroprotocolId{}, HandlerId{});
+
+  comp->task_started();  // the root expression counts as one task
+  pool_.submit([this, comp, root = std::move(root)] {
+    // The loop only repeats under TSO, whose wait-die losers roll back
+    // their TxVar state and re-run with a fresh timestamp. The versioning
+    // controllers never abort, so the first pass is the only pass.
+    constexpr std::uint32_t kMaxRestarts = 1000;
+    for (;;) {
+      Context ctx(comp, HandlerId{});
+      try {
+        comp->cc().on_start();
+        root(ctx);
+      } catch (const RestartNeeded&) {
+        // Order matters: roll the TxVar state back *while the claims are
+        // still held* — releasing first would let another computation read
+        // (and build on) state the rollback is about to clobber.
+        comp->undo_log().rollback();  // restore TxVar state
+        comp->cc().on_abort();        // then release claims; keeps its timestamp
+        // Everything this pass touched has been undone; tell the trace so
+        // the isolation checker ignores the aborted accesses. The retry
+        // keeps the original timestamp (classic wait-die), so a restarted
+        // computation only ever gets older relative to newcomers and
+        // cannot starve.
+        if (trace_) {
+          trace_->record(TracePhase::kAbort, comp->id(), MicroprotocolId{}, HandlerId{});
+        }
+        comp->count_restart();
+        if (comp->restarts() >= kMaxRestarts) {
+          comp->record_error(std::make_exception_ptr(
+              SamoaError("TSO computation exceeded the restart limit (livelock?)")));
+          break;
+        }
+        continue;
+      } catch (...) {
+        comp->record_error(std::current_exception());
+      }
+      comp->undo_log().clear();  // committed: drop the rollback entries
+      break;
+    }
+    comp->cc().on_root_done();
+    comp->task_finished();
+  });
+  return ComputationHandle(comp);
+}
+
+void Runtime::record_computation_done(ComputationId id) {
+  if (trace_) trace_->record(TracePhase::kDone, id, MicroprotocolId{}, HandlerId{});
+}
+
+void Runtime::on_computation_done(ComputationId id) {
+  stats_.completed.add();
+  std::unique_lock lock(inflight_mu_);
+  inflight_.erase(id);
+  inflight_cv_.notify_all();
+}
+
+void Runtime::drain() {
+  std::unique_lock lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_.empty(); });
+}
+
+}  // namespace samoa

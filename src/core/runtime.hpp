@@ -1,0 +1,87 @@
+// Runtime — spawning of isolated computations.
+//
+// One Runtime drives one protocol stack with one concurrency-control
+// policy. `spawn_isolated(spec, root)` is the C++ rendering of the paper's
+// `isolated M e`: it admits a new computation under the controller
+// (Step 1), runs `root` on a pool thread, and guarantees that the
+// concurrent execution of all spawned computations satisfies the isolation
+// property (for the VCA policies; kSerial trivially so, kUnsync not at
+// all — it exists as the Cactus-like baseline).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cc/controller.hpp"
+#include "core/computation.hpp"
+#include "core/context.hpp"
+#include "core/stack.hpp"
+#include "core/trace.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace samoa {
+
+struct RuntimeOptions {
+  CCPolicy policy = CCPolicy::kVCABasic;
+  /// Record (event, handler) runs for the isolation checker / diagnostics.
+  bool record_trace = false;
+  std::size_t min_threads = 2;
+  std::size_t max_threads = 1024;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Stack& stack, RuntimeOptions opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Spawn a computation under the isolation declaration `spec`; `root` is
+  /// the expression e of `isolated M e`. Seals the stack on first use.
+  ComputationHandle spawn_isolated(Isolation spec, std::function<void(Context&)> root);
+
+  /// Block until every computation spawned so far completed.
+  void drain();
+
+  Stack& stack() { return stack_; }
+  ElasticThreadPool& pool() { return pool_; }
+  ConcurrencyController& controller() { return *controller_; }
+  CCPolicy policy() const { return opts_.policy; }
+
+  /// Null when tracing is off.
+  TraceRecorder* trace() { return trace_ ? trace_.get() : nullptr; }
+
+  struct Stats {
+    Counter spawned;
+    Counter completed;
+    Counter handler_calls;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // -- internal (called by Computation / Context) --
+  void record_computation_done(ComputationId id);
+  void on_computation_done(ComputationId id);
+  void count_handler_call() { stats_.handler_calls.add(); }
+
+ private:
+  Stack& stack_;
+  RuntimeOptions opts_;
+  std::unique_ptr<ConcurrencyController> controller_;
+  std::unique_ptr<TraceRecorder> trace_;
+  ElasticThreadPool pool_;
+
+  IdAllocator<ComputationTag> comp_ids_;
+  Stats stats_;
+
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::unordered_map<ComputationId, std::shared_ptr<Computation>> inflight_;
+};
+
+}  // namespace samoa

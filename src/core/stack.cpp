@@ -1,0 +1,55 @@
+#include "core/stack.hpp"
+
+#include "core/errors.hpp"
+
+namespace samoa {
+
+Microprotocol& Stack::adopt(std::unique_ptr<Microprotocol> mp) {
+  if (sealed()) throw ConfigError("Stack::adopt after seal()");
+  microprotocols_.push_back(std::move(mp));
+  return *microprotocols_.back();
+}
+
+bool Stack::owns(const Microprotocol& mp) const {
+  for (const auto& m : microprotocols_) {
+    if (m.get() == &mp) return true;
+  }
+  return false;
+}
+
+void Stack::bind(const EventType& type, const Handler& handler) {
+  if (sealed()) {
+    throw ConfigError("Stack::bind after seal(): dynamic binding is not supported");
+  }
+  if (!owns(handler.owner())) {
+    throw ConfigError("Stack::bind: handler '" + handler.name() +
+                      "' belongs to a microprotocol not owned by this stack");
+  }
+  bindings_[type.id()].push_back(&handler);
+}
+
+void Stack::seal() { sealed_.store(true, std::memory_order_release); }
+
+const std::vector<const Handler*>& Stack::bound_handlers(EventTypeId type) const {
+  static const std::vector<const Handler*> kEmpty;
+  auto it = bindings_.find(type);
+  return it == bindings_.end() ? kEmpty : it->second;
+}
+
+const Microprotocol* Stack::find(MicroprotocolId id) const {
+  for (const auto& m : microprotocols_) {
+    if (m->id() == id) return m.get();
+  }
+  return nullptr;
+}
+
+const Handler* Stack::find_handler(HandlerId id) const {
+  for (const auto& m : microprotocols_) {
+    for (const auto& h : m->handlers()) {
+      if (h->id() == id) return h.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace samoa

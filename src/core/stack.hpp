@@ -1,0 +1,71 @@
+// Protocol stack: a composition of microprotocols plus the binding table
+// from event types to handlers.
+//
+// Bindings are established at protocol start-up and sealed before any
+// computation is spawned, matching the paper's restriction: "all handlers
+// declared in M must be bound before `isolated` commences and cannot be
+// (re)bound inside any computation" (Section 4).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/microprotocol.hpp"
+
+namespace samoa {
+
+class Stack {
+ public:
+  Stack() = default;
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  /// Construct a microprotocol owned by this stack.
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    static_assert(std::is_base_of_v<Microprotocol, T>);
+    auto mp = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *mp;
+    adopt(std::move(mp));
+    return ref;
+  }
+
+  /// Take ownership of an externally-constructed microprotocol.
+  Microprotocol& adopt(std::unique_ptr<Microprotocol> mp);
+
+  /// Bind an event type to a handler; handlers fire in binding order for
+  /// trigger_all. Throws ConfigError after seal() or for foreign handlers.
+  void bind(const EventType& type, const Handler& handler);
+
+  /// Freeze the binding table. Idempotent. Runtime seals the stack on
+  /// first spawn.
+  void seal();
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
+
+  /// Handlers bound to a type, in binding order (empty if none).
+  const std::vector<const Handler*>& bound_handlers(EventTypeId type) const;
+
+  const std::vector<std::unique_ptr<Microprotocol>>& microprotocols() const {
+    return microprotocols_;
+  }
+
+  const Microprotocol* find(MicroprotocolId id) const;
+  const Handler* find_handler(HandlerId id) const;
+
+ private:
+  bool owns(const Microprotocol& mp) const;
+
+  std::vector<std::unique_ptr<Microprotocol>> microprotocols_;
+  std::unordered_map<EventTypeId, std::vector<const Handler*>> bindings_;
+  // Written once during single-threaded composition, read by every spawn —
+  // atomic so concurrent spawners from delivery/timer threads are race-free.
+  std::atomic<bool> sealed_{false};
+};
+
+}  // namespace samoa

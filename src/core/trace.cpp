@@ -1,0 +1,57 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace samoa {
+
+const char* to_string(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kIssue:
+      return "issue";
+    case TracePhase::kStart:
+      return "start";
+    case TracePhase::kEnd:
+      return "end";
+    case TracePhase::kSpawn:
+      return "spawn";
+    case TracePhase::kDone:
+      return "done";
+    case TracePhase::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(TracePhase phase, ComputationId k, MicroprotocolId mp, HandlerId h,
+                           bool read_only) {
+  std::unique_lock lock(mu_);
+  events_.push_back(TraceEvent{next_seq_++, phase, k, mp, h, read_only});
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::unique_lock lock(mu_);
+  return events_;  // already in seq order: appended under the lock
+}
+
+void TraceRecorder::clear() {
+  std::unique_lock lock(mu_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+std::string TraceRecorder::format(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "(";
+  bool first = true;
+  for (const auto& e : events) {
+    if (e.phase != TracePhase::kStart) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "(" << e.computation << ", " << e.handler << ")";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace samoa

@@ -1,0 +1,62 @@
+// Run tracing.
+//
+// A *run* in the paper is a list of (event, handler) pairs ordered by the
+// time handlers commence. The TraceRecorder captures this order (plus
+// handler completion, so accesses become intervals) with a single atomic
+// sequence counter; the verify/ checker replays recorded runs to decide
+// whether an execution satisfied the isolation property.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/stats.hpp"
+
+namespace samoa {
+
+enum class TracePhase : std::uint8_t {
+  kIssue,  // event issued (handler requested; may be pending)
+  kStart,  // handler commenced
+  kEnd,    // handler completed
+  kSpawn,  // computation spawned (external event)
+  kDone,   // computation completed
+  kAbort,  // computation rolled back (TSO restart); prior accesses undone
+};
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  // total order consistent with real time
+  TracePhase phase{};
+  ComputationId computation;
+  MicroprotocolId microprotocol;  // invalid for kSpawn/kDone
+  HandlerId handler;              // invalid for kSpawn/kDone
+  /// True when the executed handler was declared read-only; read-only
+  /// accesses of different computations do not conflict.
+  bool read_only = false;
+};
+
+const char* to_string(TracePhase phase);
+
+class TraceRecorder {
+ public:
+  void record(TracePhase phase, ComputationId k, MicroprotocolId mp, HandlerId h,
+              bool read_only = false);
+
+  /// Snapshot of all events so far, sorted by seq.
+  std::vector<TraceEvent> snapshot() const;
+
+  void clear();
+
+  /// Render a recorded run the way the paper writes them:
+  /// ((a0, P), (a1, R), ...) using microprotocol names resolved by caller.
+  static std::string format(const std::vector<TraceEvent>& events);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace samoa

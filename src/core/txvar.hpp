@@ -1,0 +1,54 @@
+// Transactional microprotocol state.
+//
+// The TSO controller (cc/tso) aborts and restarts computations, so their
+// state mutations must be undoable. Microprotocols that want to run under
+// TSO keep their state in TxVar<T> cells: every mutation registers an undo
+// closure on the owning computation, and a restart rolls the log back in
+// reverse order before re-executing the computation from scratch.
+//
+// Under the (never-aborting) versioning controllers the undo log is
+// disabled and TxVar is a zero-surprise wrapper, so the same microprotocol
+// code runs under every policy.
+#pragma once
+
+#include <utility>
+
+#include "core/computation.hpp"
+#include "core/context.hpp"
+
+namespace samoa {
+
+/// A single undoable state cell.
+template <typename T>
+class TxVar {
+ public:
+  TxVar() = default;
+  explicit TxVar(T initial) : value_(std::move(initial)) {}
+
+  const T& get() const { return value_; }
+
+  /// Mutate through the computation executing `ctx`; registers an undo
+  /// entry when the runtime's policy can roll back.
+  void set(Context& ctx, T v) {
+    record_undo(ctx);
+    value_ = std::move(v);
+  }
+
+  /// In-place mutation via callable (for containers); same undo contract.
+  template <typename Fn>
+  void update(Context& ctx, Fn&& fn) {
+    record_undo(ctx);
+    std::forward<Fn>(fn)(value_);
+  }
+
+ private:
+  void record_undo(Context& ctx) {
+    Computation& comp = ctx.computation();
+    if (!comp.undo_enabled()) return;
+    comp.undo_log().record([this, old = value_]() mutable { value_ = std::move(old); });
+  }
+
+  T value_{};
+};
+
+}  // namespace samoa

@@ -1,0 +1,90 @@
+#include "gc/abcast.hpp"
+
+#include <algorithm>
+
+namespace samoa::gc {
+
+ABcast::ABcast(const GcOptions& opts, const GcEvents& events, SiteId self, View initial_view)
+    : GcMicroprotocol("abcast", opts),
+      events_(&events),
+      self_(self),
+      view_(std::move(initial_view)) {
+  submit_ = &register_handler("submit", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      AppMessage msg{make_msg_id(self_, ++local_seq_), m.as<std::string>(), /*atomic=*/true};
+      submitted_.add();
+      pending_.emplace(msg.id, msg);
+      // Disseminate the payload reliably; ordering happens via consensus.
+      out.trigger(events_->bcast, Message::of(msg));
+      maybe_propose(out);
+    }
+    out.flush(ctx);
+  });
+
+  on_rdeliver_ = &register_handler("on_rdeliver", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto& msg = m.as<AppMessage>();
+      if (!msg.atomic) return;  // plain reliable broadcast: not ours to order
+      if (!is_consensus_channel(msg.id)) return;  // another layer's traffic
+      if (delivered_ids_.contains(msg.id) || pending_.contains(msg.id)) return;
+      pending_.emplace(msg.id, msg);
+      maybe_propose(out);
+    }
+    out.flush(ctx);
+  });
+
+  on_decide_ = &register_handler("on_decide", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto& d = m.as<CsDecided>();
+      decisions_.emplace(d.instance, d.value);
+      apply_ready_decisions(out);
+    }
+    out.flush(ctx);
+  });
+
+  view_change_ = &register_handler("viewChange", [this](Context&, const Message& m) {
+    auto lock = guard();
+    view_ = m.as<View>();
+  });
+}
+
+void ABcast::maybe_propose(Outbox& out) {
+  if (pending_.empty()) return;
+  if (proposed_.contains(next_instance_)) return;
+  ConsensusValue batch;
+  for (const auto& [id, msg] : pending_) {
+    (void)id;
+    batch.push_back(msg);
+    if (batch.size() >= options().abcast_batch) break;
+  }
+  proposed_.insert(next_instance_);
+  out.trigger(events_->cs_propose, Message::of(CsPropose{next_instance_, std::move(batch)}));
+}
+
+void ABcast::apply_ready_decisions(Outbox& out) {
+  auto it = decisions_.find(next_instance_);
+  while (it != decisions_.end()) {
+    ConsensusValue batch = it->second;
+    decisions_.erase(it);
+    std::sort(batch.begin(), batch.end(),
+              [](const AppMessage& a, const AppMessage& b) { return a.id < b.id; });
+    for (const AppMessage& msg : batch) {
+      if (!delivered_ids_.insert(msg.id).second) continue;  // duplicate slot content
+      pending_.erase(msg.id);
+      delivered_count_.add();
+      out.trigger_all(events_->adeliver, Message::of(msg));
+    }
+    proposed_.erase(next_instance_);
+    ++next_instance_;
+    it = decisions_.find(next_instance_);
+  }
+  maybe_propose(out);
+}
+
+}  // namespace samoa::gc

@@ -1,0 +1,57 @@
+// Atomic broadcast on top of reliable broadcast + consensus.
+//
+// Submitted messages are disseminated with RelCast (so every site
+// eventually buffers the payload) while consensus instances agree, slot by
+// slot, on the batch of message ids delivered next. All sites deliver the
+// same batches in the same slot order, and batches are sorted by message
+// id — total order. Decisions arriving out of slot order are buffered
+// until the gap closes.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gc/events.hpp"
+#include "gc/gc_mp.hpp"
+#include "gc/view.hpp"
+#include "util/stats.hpp"
+
+namespace samoa::gc {
+
+class ABcast : public GcMicroprotocol {
+ public:
+  ABcast(const GcOptions& opts, const GcEvents& events, SiteId self, View initial_view);
+
+  const Handler* submit_handler() const { return submit_; }
+  const Handler* on_rdeliver_handler() const { return on_rdeliver_; }
+  const Handler* on_decide_handler() const { return on_decide_; }
+  const Handler* view_change_handler() const { return view_change_; }
+
+  std::uint64_t submitted() const { return submitted_.value(); }
+  std::uint64_t delivered() const { return delivered_count_.value(); }
+  std::uint64_t next_instance() const { return next_instance_; }
+
+ private:
+  void maybe_propose(Outbox& out);
+  void apply_ready_decisions(Outbox& out);
+
+  const GcEvents* events_;
+  SiteId self_;
+  View view_;
+  std::uint64_t local_seq_ = 0;
+  std::map<MsgId, AppMessage> pending_;           // buffered, not yet ordered
+  std::unordered_set<MsgId> delivered_ids_;
+  std::uint64_t next_instance_ = 1;
+  std::unordered_set<std::uint64_t> proposed_;    // instances we proposed for
+  std::map<std::uint64_t, ConsensusValue> decisions_;  // out-of-order buffer
+  Counter submitted_;
+  Counter delivered_count_;
+
+  const Handler* submit_ = nullptr;
+  const Handler* on_rdeliver_ = nullptr;
+  const Handler* on_decide_ = nullptr;
+  const Handler* view_change_ = nullptr;
+};
+
+}  // namespace samoa::gc

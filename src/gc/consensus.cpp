@@ -1,0 +1,188 @@
+#include "gc/consensus.hpp"
+
+#include "gc/wire.hpp"
+
+namespace samoa::gc {
+
+Consensus::Consensus(const GcOptions& opts, const GcEvents& events, SiteId self,
+                     View initial_view)
+    : GcMicroprotocol("consensus", opts),
+      events_(&events),
+      self_(self),
+      view_(std::move(initial_view)) {
+  propose_ = &register_handler("propose", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto& req = m.as<CsPropose>();
+      Instance& inst = instance(req.instance);
+      if (inst.decided || inst.have_proposal) return;
+      inst.have_proposal = true;
+      inst.proposal = req.value;
+      inst.last_activity = Clock::now();
+      try_coordinate(out, req.instance);
+    }
+    out.flush(ctx);
+  });
+
+  on_wire_ = &register_handler("on_wire", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto& fw = m.as<FromWire>();
+      std::visit(
+          [&](const auto& msg) {
+            using T = std::decay_t<decltype(msg)>;
+            if constexpr (std::is_same_v<T, CsPrepare>) {
+              handle_prepare(out, fw.from, msg);
+            } else if constexpr (std::is_same_v<T, CsPromise>) {
+              handle_promise(out, fw.from, msg);
+            } else if constexpr (std::is_same_v<T, CsAccept>) {
+              handle_accept(out, fw.from, msg);
+            } else if constexpr (std::is_same_v<T, CsAccepted>) {
+              handle_accepted(out, fw.from, msg);
+            } else if constexpr (std::is_same_v<T, CsDecide>) {
+              handle_decide(out, msg);
+            }
+          },
+          fw.wire);
+    }
+    out.flush(ctx);
+  });
+
+  on_suspect_ = &register_handler("on_suspect", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const SiteId suspected = m.as<SiteId>();
+      for (auto& [i, inst] : instances_) {
+        if (inst.decided || !inst.have_proposal) continue;
+        if (view_.size() == 0) continue;
+        const SiteId coord = view_.member_at(static_cast<std::size_t>(i + inst.attempt));
+        if (coord == suspected) {
+          ++inst.attempt;
+          try_coordinate(out, i);
+        }
+      }
+    }
+    out.flush(ctx);
+  });
+
+  retry_ = &register_handler("retry", [this](Context& ctx, const Message&) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto now = Clock::now();
+      for (auto& [i, inst] : instances_) {
+        if (inst.decided || !inst.have_proposal) continue;
+        if (now - inst.last_activity < options().cs_retry_timeout) continue;
+        // Stuck: either our own round's messages were lost, or a remote
+        // coordinator stalled. Advance the attempt and retry.
+        ++inst.attempt;
+        inst.last_activity = now;
+        try_coordinate(out, i);
+      }
+    }
+    out.flush(ctx);
+  });
+
+  view_change_ = &register_handler("viewChange", [this](Context&, const Message& m) {
+    auto lock = guard();
+    view_ = m.as<View>();
+  });
+}
+
+Consensus::Instance& Consensus::instance(std::uint64_t i) { return instances_[i]; }
+
+void Consensus::broadcast(Outbox& out, const Wire& wire) {
+  for (SiteId site : view_.members()) {
+    out.trigger(events_->transport_send, Message::of(TransportSend{site, wire}));
+  }
+}
+
+void Consensus::to(Outbox& out, SiteId site, const Wire& wire) {
+  out.trigger(events_->transport_send, Message::of(TransportSend{site, wire}));
+}
+
+void Consensus::try_coordinate(Outbox& out, std::uint64_t i) {
+  Instance& inst = instance(i);
+  if (inst.decided || !inst.have_proposal || view_.size() == 0) return;
+  const SiteId coord = view_.member_at(static_cast<std::size_t>(i + inst.attempt));
+  if (coord != self_) return;
+  inst.my_round = (inst.attempt + 1) * kRoundStride + self_.value() + 1;
+  inst.phase2 = false;
+  inst.promises.clear();
+  inst.accepted_from.clear();
+  inst.last_activity = Clock::now();
+  rounds_started_.add();
+  broadcast(out, Wire{CsPrepare{i, inst.my_round}});
+}
+
+void Consensus::handle_prepare(Outbox& out, SiteId from, const CsPrepare& p) {
+  Instance& inst = instance(p.instance);
+  inst.last_activity = Clock::now();
+  if (inst.decided) {
+    // Help a lagging coordinator: re-send the decision instead of playing
+    // another round.
+    to(out, from, Wire{CsDecide{p.instance, inst.accepted_value.value_or(ConsensusValue{})}});
+    return;
+  }
+  if (p.round <= inst.promised) return;  // stale round: ignore (retry recovers)
+  inst.promised = p.round;
+  to(out, from,
+     Wire{CsPromise{p.instance, p.round, inst.accepted_round, inst.accepted_value}});
+}
+
+void Consensus::handle_promise(Outbox& out, SiteId from, const CsPromise& p) {
+  Instance& inst = instance(p.instance);
+  if (inst.decided || inst.phase2 || p.round != inst.my_round) return;
+  inst.promises.emplace(from, p);
+  if (inst.promises.size() < view_.majority()) return;
+  // Phase 2: adopt the value of the highest accepted round, if any.
+  const CsPromise* best = nullptr;
+  for (const auto& [site, promise] : inst.promises) {
+    (void)site;
+    if (promise.accepted_value &&
+        (best == nullptr || promise.accepted_round > best->accepted_round)) {
+      best = &promise;
+    }
+  }
+  inst.chosen = best != nullptr ? *best->accepted_value : inst.proposal;
+  inst.phase2 = true;
+  inst.last_activity = Clock::now();
+  broadcast(out, Wire{CsAccept{p.instance, inst.my_round, inst.chosen}});
+}
+
+void Consensus::handle_accept(Outbox& out, SiteId from, const CsAccept& a) {
+  Instance& inst = instance(a.instance);
+  inst.last_activity = Clock::now();
+  if (inst.decided) {
+    to(out, from, Wire{CsDecide{a.instance, inst.accepted_value.value_or(ConsensusValue{})}});
+    return;
+  }
+  if (a.round < inst.promised) return;
+  inst.promised = a.round;
+  inst.accepted_round = a.round;
+  inst.accepted_value = a.value;
+  to(out, from, Wire{CsAccepted{a.instance, a.round}});
+}
+
+void Consensus::handle_accepted(Outbox& out, SiteId from, const CsAccepted& a) {
+  Instance& inst = instance(a.instance);
+  if (inst.decided || !inst.phase2 || a.round != inst.my_round) return;
+  inst.accepted_from.insert(from);
+  if (inst.accepted_from.size() < view_.majority()) return;
+  broadcast(out, Wire{CsDecide{a.instance, inst.chosen}});
+  // Our own CsDecide arrives through loopback and runs handle_decide.
+}
+
+void Consensus::handle_decide(Outbox& out, const CsDecide& d) {
+  Instance& inst = instance(d.instance);
+  if (inst.decided) return;
+  inst.decided = true;
+  inst.accepted_value = d.value;
+  decided_count_.add();
+  out.trigger(events_->cs_decided, Message::of(CsDecided{d.instance, d.value}));
+}
+
+}  // namespace samoa::gc

@@ -1,0 +1,92 @@
+// Distributed consensus — the substrate under atomic broadcast.
+//
+// One single-decree, Paxos-style instance per slot:
+//   Phase 1  coordinator sends PREPARE(i, r); acceptors promise and report
+//            their highest accepted (round, value).
+//   Phase 2  coordinator picks the accepted value of the highest round
+//            among a majority of promises (its own proposal otherwise) and
+//            sends ACCEPT(i, r, v); acceptors accept and reply ACCEPTED.
+//   Decide   on a majority of ACCEPTED the coordinator broadcasts
+//            DECIDE(i, v); every site learns and hands the value up.
+//
+// The coordinator of instance i, attempt a is view.member_at(i + a);
+// rounds are made proposer-unique by round = attempt * kRoundStride +
+// self + 1. Attempts advance when the failure detector suspects the
+// current coordinator or the retry timer finds the instance stuck, giving
+// liveness under crashes and message loss (safety never depends on timing,
+// as in Paxos).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "gc/events.hpp"
+#include "gc/gc_mp.hpp"
+#include "gc/view.hpp"
+#include "util/stats.hpp"
+
+namespace samoa::gc {
+
+class Consensus : public GcMicroprotocol {
+ public:
+  Consensus(const GcOptions& opts, const GcEvents& events, SiteId self, View initial_view);
+
+  const Handler* propose_handler() const { return propose_; }
+  const Handler* on_wire_handler() const { return on_wire_; }
+  const Handler* on_suspect_handler() const { return on_suspect_; }
+  const Handler* retry_handler() const { return retry_; }
+  const Handler* view_change_handler() const { return view_change_; }
+
+  std::uint64_t decided_count() const { return decided_count_.value(); }
+  std::uint64_t rounds_started() const { return rounds_started_.value(); }
+
+ private:
+  static constexpr std::uint64_t kRoundStride = 1u << 20;
+
+  struct Instance {
+    // Acceptor state.
+    std::uint64_t promised = 0;
+    std::uint64_t accepted_round = 0;
+    std::optional<ConsensusValue> accepted_value;
+    // Proposer state.
+    bool have_proposal = false;
+    ConsensusValue proposal;
+    std::uint64_t attempt = 0;
+    std::uint64_t my_round = 0;  // 0: not coordinating
+    bool phase2 = false;
+    std::map<SiteId, CsPromise> promises;
+    std::set<SiteId> accepted_from;
+    ConsensusValue chosen;
+    Clock::time_point last_activity{};
+    // Learner state.
+    bool decided = false;
+  };
+
+  Instance& instance(std::uint64_t i);
+  void try_coordinate(Outbox& out, std::uint64_t i);
+  void broadcast(Outbox& out, const Wire& wire);
+  void to(Outbox& out, SiteId site, const Wire& wire);
+
+  void handle_prepare(Outbox& out, SiteId from, const CsPrepare& p);
+  void handle_promise(Outbox& out, SiteId from, const CsPromise& p);
+  void handle_accept(Outbox& out, SiteId from, const CsAccept& a);
+  void handle_accepted(Outbox& out, SiteId from, const CsAccepted& a);
+  void handle_decide(Outbox& out, const CsDecide& d);
+
+  const GcEvents* events_;
+  SiteId self_;
+  View view_;
+  std::unordered_map<std::uint64_t, Instance> instances_;
+  Counter decided_count_;
+  Counter rounds_started_;
+
+  const Handler* propose_ = nullptr;
+  const Handler* on_wire_ = nullptr;
+  const Handler* on_suspect_ = nullptr;
+  const Handler* retry_ = nullptr;
+  const Handler* view_change_ = nullptr;
+};
+
+}  // namespace samoa::gc

@@ -1,0 +1,79 @@
+// Event vocabulary of one group-communication node.
+//
+// Each GroupNode owns one instance of GcEvents: the internal and external
+// event types wiring its microprotocols together, mirroring the paper's
+// Section 3 code (SendOut, FromRComm, Bcast, DeliverOut, ViewChange, ...).
+#pragma once
+
+#include "core/event.hpp"
+#include "gc/wire.hpp"
+
+namespace samoa::gc {
+
+/// Request to send `m` to `target` through reliable point-to-point
+/// communication (the argument of the paper's SendOut event).
+struct SendReq {
+  AppMessage m;
+  SiteId target;
+};
+
+/// Request to push a wire message onto the network.
+struct TransportSend {
+  SiteId to;
+  Wire wire;
+};
+
+/// Internal consensus kick: "agree on `value` for slot `instance`".
+struct CsPropose {
+  std::uint64_t instance = 0;
+  ConsensusValue value;
+};
+
+/// Consensus outcome handed to the atomic broadcast layer.
+struct CsDecided {
+  std::uint64_t instance = 0;
+  ConsensusValue value;
+};
+
+/// A membership operation (the paper's joinleave handler arguments).
+struct JoinLeave {
+  char op = '+';  // '+' join, '-' leave
+  SiteId site;
+};
+
+struct GcEvents {
+  // External (network / timers / API):
+  EventType rc_data{"net.RcData"};
+  EventType rc_ack{"net.RcAck"};
+  EventType fd_heartbeat{"net.FdHeartbeat"};
+  EventType cs_wire{"net.Consensus"};
+  EventType view_install{"net.ViewInstall"};
+  EventType retransmit_tick{"tick.Retransmit"};
+  EventType heartbeat_tick{"tick.Heartbeat"};
+  EventType fd_check_tick{"tick.FdCheck"};
+  EventType cs_retry_tick{"tick.CsRetry"};
+  EventType api_abcast{"api.ABcast"};
+  EventType api_rbcast{"api.Bcast"};
+  EventType api_ccast{"api.CCast"};
+  EventType api_joinleave{"api.JoinLeave"};
+
+  // Internal (between microprotocols):
+  EventType send_out{"SendOut"};          // -> RelComm.send
+  EventType from_rcomm{"FromRComm"};      // -> RelCast.recv (triggerAll)
+  EventType bcast{"Bcast"};               // -> RelCast.bcast
+  EventType deliver_out{"DeliverOut"};    // -> ABcast.on_rdeliver + app sink
+  EventType adeliver{"ADeliver"};         // -> Membership.deliverView + app sink
+  EventType causal_deliver{"CDeliver"};   // -> app sink (causal order)
+  EventType view_change{"ViewChange"};    // -> every view-holding microprotocol
+  EventType suspect{"Suspect"};           // -> Consensus.on_suspect
+  EventType cs_propose{"CsPropose"};      // -> Consensus.propose
+  EventType cs_decided{"CsDecided"};      // -> ABcast.on_decide
+  EventType transport_send{"Transport"};  // -> Transport.send
+  /// Membership operations are always ordered by the consensus-based
+  /// ABcast, even when application messages use the sequencer
+  /// implementation — a crashed sequencer cannot be evicted through an
+  /// ordering service it is itself the single point of failure of.
+  EventType membership_abcast{"MembershipABcast"};
+};
+
+}  // namespace samoa::gc

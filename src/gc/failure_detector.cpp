@@ -1,0 +1,74 @@
+#include "gc/failure_detector.hpp"
+
+#include "gc/wire.hpp"
+
+namespace samoa::gc {
+
+FailureDetector::FailureDetector(const GcOptions& opts, const GcEvents& events, SiteId self,
+                                 View initial_view)
+    : GcMicroprotocol("fd", opts), self_(self), view_(std::move(initial_view)) {
+  on_heartbeat_ = &register_handler("on_heartbeat", [this](Context&, const Message& m) {
+    auto lock = guard();
+    const auto& fw = m.as<FromWire>();
+    std::unique_lock snap(snap_mu_);
+    last_heard_[fw.from] = Clock::now();
+    suspected_.erase(fw.from);  // eventually-perfect: revoke on new evidence
+  });
+
+  send_heartbeats_ = &register_handler("send_heartbeats",
+                                       [this, &events](Context& ctx, const Message&) {
+    Outbox out;
+    {
+      auto lock = guard();
+      ++epoch_;
+      for (SiteId site : view_.members()) {
+        if (site == self_) continue;
+        out.trigger(events.transport_send,
+                    Message::of(TransportSend{site, Wire{FdHeartbeat{epoch_}}}));
+      }
+    }
+    out.flush(ctx);
+  });
+
+  check_ = &register_handler("check", [this, &events](Context& ctx, const Message&) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto now = Clock::now();
+      std::unique_lock snap(snap_mu_);
+      for (SiteId site : view_.members()) {
+        if (site == self_) continue;
+        auto it = last_heard_.find(site);
+        // A peer we never heard from gets a full timeout from start-up;
+        // seed its record on first check.
+        if (it == last_heard_.end()) {
+          last_heard_[site] = now;
+          continue;
+        }
+        const bool overdue = now - it->second > options().fd_timeout;
+        if (overdue && !suspected_.contains(site)) {
+          suspected_.insert(site);
+          suspicions_.add();
+          out.trigger_all(events.suspect, Message::of(site));
+        }
+      }
+    }
+    out.flush(ctx);
+  });
+
+  view_change_ = &register_handler("viewChange", [this](Context&, const Message& m) {
+    auto lock = guard();
+    view_ = m.as<View>();
+    std::unique_lock snap(snap_mu_);
+    for (auto it = suspected_.begin(); it != suspected_.end();) {
+      it = view_.contains(*it) ? std::next(it) : suspected_.erase(it);
+    }
+  });
+}
+
+bool FailureDetector::is_suspected(SiteId site) {
+  std::unique_lock snap(snap_mu_);
+  return suspected_.contains(site);
+}
+
+}  // namespace samoa::gc

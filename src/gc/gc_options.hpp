@@ -1,0 +1,62 @@
+// Tunables of one group-communication node.
+#pragma once
+
+#include <chrono>
+
+#include "cc/controller.hpp"
+
+namespace samoa::gc {
+
+/// Which total-order broadcast implementation a GroupNode runs.
+enum class ABcastImpl {
+  kConsensus,  // one Paxos-style consensus instance per batch (default)
+  kSequencer,  // fixed sequencer with takeover on view change
+};
+
+struct GcOptions {
+  CCPolicy policy = CCPolicy::kVCABasic;
+
+  ABcastImpl abcast_impl = ABcastImpl::kConsensus;
+
+  /// Record the node runtime's trace (for the isolation checker).
+  bool record_trace = false;
+
+  /// Cactus-style manual synchronisation: every microprotocol guards its
+  /// handlers with its own mutex. Required for memory safety under
+  /// CCPolicy::kUnsync; per-object locking alone still cannot provide the
+  /// cross-microprotocol isolation the paper's Section 3 race needs, which
+  /// is exactly what the view-change experiment demonstrates.
+  bool manual_locks = false;
+
+  /// Artificial widening of the Section 3 race window: RelComm's
+  /// viewChange handler sleeps this long *before* adopting the new view,
+  /// so concurrent message processing can observe RelCast(new)/RelComm(old).
+  std::chrono::microseconds view_change_delay{0};
+
+  std::chrono::microseconds retransmit_interval{2000};
+  std::chrono::microseconds retransmit_timeout{3000};
+  std::chrono::microseconds heartbeat_interval{2000};
+  std::chrono::microseconds fd_timeout{10000};
+  std::chrono::microseconds cs_retry_interval{5000};
+  std::chrono::microseconds cs_retry_timeout{8000};
+
+  /// Max messages ordered per consensus instance.
+  std::size_t abcast_batch = 16;
+
+  /// Flow control (paper Section 5 lists "message flow control" as part of
+  /// the J-SAMOA implementation): max unacknowledged messages per peer in
+  /// RelComm; further sends are queued until acks free credits. 0 = off.
+  std::size_t flow_window = 32;
+
+  /// Least-upper-bound used for every microprotocol when policy is
+  /// VCAbound (generous over-declaration is legal; too small throws).
+  std::uint32_t vca_bound = 256;
+
+  /// Marshal every wire message to its binary network format (net/codec)
+  /// before it enters the simulated network, and unmarshal on delivery —
+  /// the full path a real UDP transport would take. Off by default (the
+  /// in-process simulator can carry typed values directly).
+  bool serialize_wire = false;
+};
+
+}  // namespace samoa::gc

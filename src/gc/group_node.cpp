@@ -1,0 +1,296 @@
+#include "core/context.hpp"
+#include "gc/group_node.hpp"
+
+#include "core/errors.hpp"
+
+namespace samoa::gc {
+
+DeliverSink::DeliverSink(const GcOptions& opts, const GcEvents&)
+    : GcMicroprotocol("app", opts) {
+  on_rdeliver_ = &register_handler("on_rdeliver", [this](Context&, const Message& m) {
+    auto lock = guard();
+    const auto& msg = m.as<AppMessage>();
+    if (msg.atomic) return;  // atomic payloads are delivered via ADeliver
+    // Control payloads (causal headers, sequencer order announcements)
+    // share the 0x01 prefix byte and are not application messages.
+    if (!msg.data.empty() && msg.data[0] == '\x01') return;
+    std::unique_lock snap(mu_);
+    rdelivered_.push_back(msg);
+  });
+  on_cdeliver_ = &register_handler("on_cdeliver", [this](Context&, const Message& m) {
+    auto lock = guard();
+    std::unique_lock snap(mu_);
+    cdelivered_.push_back(m.as<std::string>());
+  });
+  on_adeliver_ = &register_handler("on_adeliver", [this](Context&, const Message& m) {
+    auto lock = guard();
+    const auto& msg = m.as<AppMessage>();
+    char op;
+    SiteId site;
+    if (Membership::decode_op(msg.data, op, site)) return;  // membership-internal
+    std::unique_lock snap(mu_);
+    adelivered_.push_back(msg);
+  });
+}
+
+std::vector<AppMessage> DeliverSink::rdelivered() {
+  std::unique_lock snap(mu_);
+  return rdelivered_;
+}
+
+std::vector<AppMessage> DeliverSink::adelivered() {
+  std::unique_lock snap(mu_);
+  return adelivered_;
+}
+
+std::vector<std::string> DeliverSink::cdelivered() {
+  std::unique_lock snap(mu_);
+  return cdelivered_;
+}
+
+GroupNode::GroupNode(net::SimNetwork& net, GcOptions opts) : net_(net), opts_(std::move(opts)) {
+  self_ = net_.add_site([this](const net::Packet& packet) { on_packet(packet); });
+
+  const View empty;
+  transport_ = &stack_.emplace<Transport>(opts_, events_, net_, self_);
+  relcomm_ = &stack_.emplace<RelComm>(opts_, events_, self_, empty);
+  relcast_ = &stack_.emplace<RelCast>(opts_, events_, self_, empty);
+  fd_ = &stack_.emplace<FailureDetector>(opts_, events_, self_, empty);
+  consensus_ = &stack_.emplace<Consensus>(opts_, events_, self_, empty);
+  abcast_ = &stack_.emplace<ABcast>(opts_, events_, self_, empty);
+  causal_ = &stack_.emplace<CausalCast>(opts_, events_, self_, empty);
+  seq_abcast_ = &stack_.emplace<SeqABcast>(opts_, events_, self_, empty);
+  membership_ = &stack_.emplace<Membership>(opts_, events_, self_, empty);
+  sink_ = &stack_.emplace<DeliverSink>(opts_, events_);
+
+  bind_all();
+
+  RuntimeOptions rt_opts;
+  rt_opts.policy = opts_.policy;
+  rt_opts.record_trace = opts_.record_trace;
+  runtime_ = std::make_unique<Runtime>(stack_, rt_opts);
+}
+
+GroupNode::~GroupNode() {
+  timers_.cancel_all();
+  net_.detach(self_);  // no further delivery callbacks after this returns
+  // runtime_ destructor drains in-flight computations.
+}
+
+void GroupNode::bind_all() {
+  // External events.
+  stack_.bind(events_.rc_data, *relcomm_->recv_data_handler());
+  stack_.bind(events_.rc_ack, *relcomm_->recv_ack_handler());
+  stack_.bind(events_.fd_heartbeat, *fd_->on_heartbeat_handler());
+  stack_.bind(events_.cs_wire, *consensus_->on_wire_handler());
+  stack_.bind(events_.view_install, *membership_->on_install_handler());
+  stack_.bind(events_.retransmit_tick, *relcomm_->retransmit_handler());
+  stack_.bind(events_.heartbeat_tick, *fd_->send_heartbeats_handler());
+  stack_.bind(events_.fd_check_tick, *fd_->check_handler());
+  stack_.bind(events_.cs_retry_tick, *consensus_->retry_handler());
+  if (opts_.abcast_impl == ABcastImpl::kConsensus) {
+    stack_.bind(events_.api_abcast, *abcast_->submit_handler());
+  } else {
+    stack_.bind(events_.api_abcast, *seq_abcast_->submit_handler());
+  }
+  stack_.bind(events_.api_rbcast, *relcast_->bcast_handler());
+  stack_.bind(events_.api_ccast, *causal_->submit_handler());
+  stack_.bind(events_.api_joinleave, *membership_->joinleave_handler());
+
+  // Internal plumbing.
+  stack_.bind(events_.send_out, *relcomm_->send_handler());
+  stack_.bind(events_.from_rcomm, *relcast_->recv_handler());
+  stack_.bind(events_.bcast, *relcast_->bcast_handler());
+  stack_.bind(events_.deliver_out, *abcast_->on_rdeliver_handler());
+  if (opts_.abcast_impl == ABcastImpl::kSequencer) {
+    stack_.bind(events_.deliver_out, *seq_abcast_->on_rdeliver_handler());
+  }
+  stack_.bind(events_.deliver_out, *causal_->on_rdeliver_handler());
+  stack_.bind(events_.deliver_out, *sink_->on_rdeliver_handler());
+  stack_.bind(events_.adeliver, *membership_->on_adeliver_handler());
+  stack_.bind(events_.adeliver, *sink_->on_adeliver_handler());
+  stack_.bind(events_.causal_deliver, *sink_->on_cdeliver_handler());
+  // ViewChange binding order is load-bearing for the Section 3 experiment:
+  // RelCast adopts the new view first, RelComm (optionally delayed) last —
+  // exactly the window in which an unsynchronised message computation sees
+  // inconsistent views.
+  stack_.bind(events_.view_change, *relcast_->view_change_handler());
+  stack_.bind(events_.view_change, *relcomm_->view_change_handler());
+  stack_.bind(events_.view_change, *fd_->view_change_handler());
+  stack_.bind(events_.view_change, *consensus_->view_change_handler());
+  stack_.bind(events_.view_change, *abcast_->view_change_handler());
+  stack_.bind(events_.view_change, *causal_->view_change_handler());
+  stack_.bind(events_.view_change, *seq_abcast_->view_change_handler());
+  stack_.bind(events_.suspect, *consensus_->on_suspect_handler());
+  stack_.bind(events_.cs_propose, *consensus_->propose_handler());
+  stack_.bind(events_.cs_decided, *abcast_->on_decide_handler());
+  // Membership ops always order through the consensus implementation (see
+  // events.hpp); under the sequencer impl the consensus ABcast still needs
+  // its dissemination input, so bind its rdeliver tap unconditionally.
+  stack_.bind(events_.membership_abcast, *abcast_->submit_handler());
+  stack_.bind(events_.transport_send, *transport_->send_handler());
+}
+
+Isolation GroupNode::spec(EventClass klass) const {
+  std::vector<const Microprotocol*> members;
+  switch (klass) {
+    case EventClass::kRcData:
+      // Under the sequencer implementation the total-order delivery (and
+      // hence the membership/view-change cascade) can fire directly from a
+      // data packet's computation, so the declaration covers the full
+      // stack (over-declaration is always legal).
+      members = {transport_, relcomm_, relcast_,   abcast_, seq_abcast_, causal_,
+                 consensus_, fd_,      membership_, sink_};
+      break;
+    case EventClass::kRcAck:
+      members = {transport_, relcomm_};
+      break;
+    case EventClass::kFdHeartbeat:
+      members = {fd_};
+      break;
+    case EventClass::kCsWire:
+      members = {transport_, relcomm_, relcast_, fd_,      consensus_, abcast_,
+                 seq_abcast_, causal_, membership_, sink_};
+      break;
+    case EventClass::kViewInstall:
+      members = {transport_, relcomm_, relcast_, fd_, consensus_, abcast_,
+                 seq_abcast_, causal_, membership_};
+      break;
+    case EventClass::kRetransmitTick:
+      members = {transport_, relcomm_};
+      break;
+    case EventClass::kHeartbeatTick:
+      members = {transport_, fd_};
+      break;
+    case EventClass::kFdCheckTick:
+      members = {transport_, fd_, consensus_};
+      break;
+    case EventClass::kCsRetryTick:
+      members = {transport_, consensus_};
+      break;
+    case EventClass::kApiRbcast:
+      members = {transport_, relcomm_, relcast_, abcast_, seq_abcast_, causal_, sink_};
+      break;
+    case EventClass::kApiCcast:
+      members = {transport_, relcomm_, relcast_, abcast_, seq_abcast_, causal_, sink_};
+      break;
+    case EventClass::kApiAbcast:
+      // The submitting site may itself be the sequencer: ordering (and the
+      // adeliver cascade) can complete synchronously inside this call.
+      members = {transport_, relcomm_, relcast_,   abcast_, seq_abcast_, causal_,
+                 consensus_, fd_,      membership_, sink_};
+      break;
+    case EventClass::kApiJoinLeave:
+      members = {transport_, relcomm_, relcast_, abcast_, consensus_, membership_};
+      break;
+  }
+  if (opts_.policy == CCPolicy::kVCABound) {
+    std::vector<std::pair<const Microprotocol*, std::uint32_t>> bounds;
+    bounds.reserve(members.size());
+    for (const auto* mp : members) bounds.emplace_back(mp, opts_.vca_bound);
+    return Isolation::bound(std::move(bounds));
+  }
+  if (opts_.policy == CCPolicy::kVCARoute) {
+    throw ConfigError(
+        "GroupNode does not support VCAroute: the stack's call patterns are "
+        "data-dependent (the paper notes the variants' use is limited when "
+        "routing cannot be declared statically)");
+  }
+  return Isolation::basic(std::move(members));
+}
+
+ComputationHandle GroupNode::spawn(EventClass klass, const EventType& ev, Message msg) {
+  return runtime_->spawn_isolated(
+      spec(klass), [ev, msg = std::move(msg)](Context& ctx) { ctx.trigger(ev, msg); });
+}
+
+void GroupNode::on_packet(const net::Packet& packet) {
+  if (!started_.load(std::memory_order_acquire) || crashed_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // Unmarshal from the binary network format when the codec path is on;
+  // otherwise the simulator carried the typed value directly.
+  const FromWire fw =
+      opts_.serialize_wire
+          ? net::decode_wire(packet.payload.as<std::vector<std::uint8_t>>())
+          : FromWire{packet.from, packet.payload.as<Wire>()};
+  const Wire& wire = fw.wire;
+  std::visit(
+      [&](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, RcData>) {
+          spawn(EventClass::kRcData, events_.rc_data, Message::of(fw));
+        } else if constexpr (std::is_same_v<T, RcAck>) {
+          spawn(EventClass::kRcAck, events_.rc_ack, Message::of(fw));
+        } else if constexpr (std::is_same_v<T, FdHeartbeat>) {
+          spawn(EventClass::kFdHeartbeat, events_.fd_heartbeat, Message::of(fw));
+        } else if constexpr (std::is_same_v<T, ViewInstall>) {
+          spawn(EventClass::kViewInstall, events_.view_install, Message::of(fw));
+        } else {
+          spawn(EventClass::kCsWire, events_.cs_wire, Message::of(fw));
+        }
+      },
+      wire);
+}
+
+void GroupNode::start(View initial_view) {
+  if (started_.exchange(true)) throw ConfigError("GroupNode::start called twice");
+  if (initial_view.id() == 0) {
+    throw ConfigError("initial view must have id >= 1 (id 0 is the empty pre-start view)");
+  }
+  // Install the initial view through the regular ViewInstall path so every
+  // microprotocol learns it inside one isolated computation.
+  const FromWire fw{self_, Wire{ViewInstall{initial_view.id(), initial_view.members()}}};
+  spawn(EventClass::kViewInstall, events_.view_install, Message::of(fw)).wait();
+
+  timers_.schedule_periodic(opts_.retransmit_interval, [this] {
+    if (crashed_.load(std::memory_order_acquire)) return;
+    spawn(EventClass::kRetransmitTick, events_.retransmit_tick, Message{});
+  });
+  timers_.schedule_periodic(opts_.heartbeat_interval, [this] {
+    if (crashed_.load(std::memory_order_acquire)) return;
+    spawn(EventClass::kHeartbeatTick, events_.heartbeat_tick, Message{});
+  });
+  timers_.schedule_periodic(opts_.fd_timeout, [this] {
+    if (crashed_.load(std::memory_order_acquire)) return;
+    spawn(EventClass::kFdCheckTick, events_.fd_check_tick, Message{});
+  });
+  timers_.schedule_periodic(opts_.cs_retry_interval, [this] {
+    if (crashed_.load(std::memory_order_acquire)) return;
+    spawn(EventClass::kCsRetryTick, events_.cs_retry_tick, Message{});
+  });
+}
+
+void GroupNode::crash() {
+  crashed_.store(true, std::memory_order_release);
+  timers_.cancel_all();
+  net_.crash(self_);
+}
+
+ComputationHandle GroupNode::rbcast(std::string data) {
+  // Plain reliable broadcasts draw ids from a separate subspace (high bit
+  // of the per-origin sequence) so they never collide with ABcast ids.
+  const std::uint64_t seq = kPlainChannelBit | ++rb_seq_;
+  AppMessage msg{make_msg_id(self_, seq), std::move(data), /*atomic=*/false};
+  return spawn(EventClass::kApiRbcast, events_.api_rbcast, Message::of(msg));
+}
+
+ComputationHandle GroupNode::abcast(std::string data) {
+  return spawn(EventClass::kApiAbcast, events_.api_abcast, Message::of(std::move(data)));
+}
+
+ComputationHandle GroupNode::ccast(std::string data) {
+  return spawn(EventClass::kApiCcast, events_.api_ccast, Message::of(std::move(data)));
+}
+
+ComputationHandle GroupNode::request_join(SiteId newcomer) {
+  return spawn(EventClass::kApiJoinLeave, events_.api_joinleave,
+               Message::of(JoinLeave{'+', newcomer}));
+}
+
+ComputationHandle GroupNode::request_leave(SiteId member) {
+  return spawn(EventClass::kApiJoinLeave, events_.api_joinleave,
+               Message::of(JoinLeave{'-', member}));
+}
+
+}  // namespace samoa::gc

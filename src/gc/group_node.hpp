@@ -1,0 +1,157 @@
+// GroupNode — one site's complete group-communication stack.
+//
+// Owns the Stack (Transport, RelComm, RelCast, FailureDetector, Consensus,
+// ABcast, Membership, a delivery sink), its Runtime with the chosen
+// concurrency-control policy, and a TimerService; registers with the
+// SimNetwork and turns every network packet and timer tick into an
+// `isolated` computation with the appropriate declaration.
+//
+// Design note: computations never block on remote events — all sends are
+// fire-and-forget and every response arrives as a *new* external event, so
+// version gates are strictly per-site and the paper's deadlock-freedom
+// argument carries over to the distributed setting unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "gc/abcast.hpp"
+#include "gc/causal_cast.hpp"
+#include "gc/consensus.hpp"
+#include "gc/events.hpp"
+#include "gc/failure_detector.hpp"
+#include "gc/gc_options.hpp"
+#include "gc/membership.hpp"
+#include "gc/rel_cast.hpp"
+#include "gc/seq_abcast.hpp"
+#include "gc/rel_comm.hpp"
+#include "gc/transport.hpp"
+#include "net/sim_network.hpp"
+#include "net/timer_service.hpp"
+
+namespace samoa::gc {
+
+/// Terminal microprotocol recording what the "application module" saw.
+class DeliverSink : public GcMicroprotocol {
+ public:
+  DeliverSink(const GcOptions& opts, const GcEvents& events);
+
+  const Handler* on_rdeliver_handler() const { return on_rdeliver_; }
+  const Handler* on_adeliver_handler() const { return on_adeliver_; }
+  const Handler* on_cdeliver_handler() const { return on_cdeliver_; }
+
+  /// Reliable-broadcast deliveries (unordered), membership ops filtered.
+  std::vector<AppMessage> rdelivered();
+  /// Atomic-broadcast deliveries, in total order, membership ops filtered.
+  std::vector<AppMessage> adelivered();
+  /// Causal-broadcast deliveries, in causal order.
+  std::vector<std::string> cdelivered();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<AppMessage> rdelivered_;
+  std::vector<AppMessage> adelivered_;
+  std::vector<std::string> cdelivered_;
+  const Handler* on_rdeliver_ = nullptr;
+  const Handler* on_adeliver_ = nullptr;
+  const Handler* on_cdeliver_ = nullptr;
+};
+
+class GroupNode {
+ public:
+  /// Registers a site with `net`; the node's id is allocated there.
+  GroupNode(net::SimNetwork& net, GcOptions opts);
+  ~GroupNode();
+
+  GroupNode(const GroupNode&) = delete;
+  GroupNode& operator=(const GroupNode&) = delete;
+
+  SiteId id() const { return self_; }
+
+  /// Install the initial view and arm the periodic timers. Call exactly
+  /// once, after every node of the experiment has been constructed.
+  void start(View initial_view);
+
+  /// Stop timers and detach from the network (simulated crash).
+  void crash();
+
+  // --- Application API (each call is one external event) ---
+  ComputationHandle rbcast(std::string data);
+  ComputationHandle abcast(std::string data);
+  ComputationHandle ccast(std::string data);  // causal-order broadcast
+  ComputationHandle request_join(SiteId newcomer);
+  ComputationHandle request_leave(SiteId member);
+
+  // --- Introspection ---
+  Runtime& runtime() { return *runtime_; }
+  DeliverSink& sink() { return *sink_; }
+  Membership& membership() { return *membership_; }
+  RelComm& rel_comm() { return *relcomm_; }
+  RelCast& rel_cast() { return *relcast_; }
+  ABcast& ab() { return *abcast_; }
+  CausalCast& causal() { return *causal_; }
+  SeqABcast& seq_ab() { return *seq_abcast_; }
+  Consensus& consensus() { return *consensus_; }
+  FailureDetector& fd() { return *fd_; }
+  Transport& transport() { return *transport_; }
+  const GcEvents& events() const { return events_; }
+  const GcOptions& options() const { return opts_; }
+
+  /// Stop the periodic timers (retransmit / heartbeat / fd / consensus
+  /// retry). Needed before drain(): with timers armed, new computations
+  /// keep arriving and the runtime never becomes idle.
+  void stop_timers() { timers_.cancel_all(); }
+
+  /// Wait until this node has no in-flight computations. Call
+  /// stop_timers() first if the node should actually become idle.
+  void drain() { runtime_->drain(); }
+
+ private:
+  enum class EventClass {
+    kRcData,
+    kRcAck,
+    kFdHeartbeat,
+    kCsWire,
+    kViewInstall,
+    kRetransmitTick,
+    kHeartbeatTick,
+    kFdCheckTick,
+    kCsRetryTick,
+    kApiRbcast,
+    kApiAbcast,
+    kApiCcast,
+    kApiJoinLeave,
+  };
+
+  Isolation spec(EventClass klass) const;
+  ComputationHandle spawn(EventClass klass, const EventType& ev, Message msg);
+  void on_packet(const net::Packet& packet);
+  void bind_all();
+
+  net::SimNetwork& net_;
+  GcOptions opts_;
+  GcEvents events_;
+  SiteId self_;
+
+  Stack stack_;
+  Transport* transport_ = nullptr;
+  RelComm* relcomm_ = nullptr;
+  RelCast* relcast_ = nullptr;
+  FailureDetector* fd_ = nullptr;
+  Consensus* consensus_ = nullptr;
+  ABcast* abcast_ = nullptr;
+  CausalCast* causal_ = nullptr;
+  SeqABcast* seq_abcast_ = nullptr;
+  Membership* membership_ = nullptr;
+  DeliverSink* sink_ = nullptr;
+
+  std::unique_ptr<Runtime> runtime_;
+  net::TimerService timers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<std::uint64_t> rb_seq_{0};
+};
+
+}  // namespace samoa::gc

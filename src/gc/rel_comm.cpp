@@ -1,0 +1,139 @@
+#include "gc/rel_comm.hpp"
+
+#include "util/sync.hpp"
+
+namespace samoa::gc {
+
+RelComm::RelComm(const GcOptions& opts, const GcEvents& events, SiteId self, View initial_view)
+    : GcMicroprotocol("relcomm", opts),
+      events_(&events),
+      self_(self),
+      view_(std::move(initial_view)) {
+  send_ = &register_handler("send", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto& req = m.as<SendReq>();
+      if (!view_.contains(req.target)) {
+        // The Section 3 failure mode: with a stale local view the message
+        // is silently discarded ("RelComm does not know about s").
+        discarded_out_of_view_.add();
+        return;
+      }
+      const std::size_t window = options().flow_window;
+      if (window > 0 && in_flight_[req.target] >= window) {
+        // Flow control: out of credits for this peer — queue until acks
+        // free a slot (drained in recv_ack).
+        backlog_[req.target].push_back(req.m);
+        flow_deferred_.add();
+        return;
+      }
+      dispatch_send(out, req.m, req.target);
+    }
+    out.flush(ctx);
+  });
+
+  recv_data_ = &register_handler("recv_data", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto& fw = m.as<FromWire>();
+      const auto& data = std::get<RcData>(fw.wire);
+      // Always acknowledge — the sender believed we were a valid target,
+      // and retransmitting into a check that keeps failing helps nobody.
+      out.trigger(events_->transport_send,
+                  Message::of(TransportSend{fw.from, Wire{RcAck{data.seq}}}));
+      if (!view_.contains(fw.from)) {
+        discarded_unknown_sender_.add();
+      } else if (seen_[fw.from].insert(data.seq).second) {
+        out.async_trigger_all(events_->from_rcomm, Message::of(data.body));
+      }
+    }
+    out.flush(ctx);
+  });
+
+  recv_ack_ = &register_handler("recv_ack", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto& fw = m.as<FromWire>();
+      const auto& ack = std::get<RcAck>(fw.wire);
+      if (unacked_.erase({fw.from, ack.seq}) > 0) {
+        unacked_count_.fetch_sub(1, std::memory_order_relaxed);
+        --in_flight_[fw.from];
+        // Credits freed: drain the flow-control backlog for this peer.
+        auto bit = backlog_.find(fw.from);
+        const std::size_t window = options().flow_window;
+        while (bit != backlog_.end() && !bit->second.empty() &&
+               (window == 0 || in_flight_[fw.from] < window)) {
+          dispatch_send(out, bit->second.front(), fw.from);
+          bit->second.pop_front();
+        }
+      }
+    }
+    out.flush(ctx);
+  });
+
+  retransmit_ = &register_handler("retransmit", [this](Context& ctx, const Message&) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto now = Clock::now();
+      for (auto bit = backlog_.begin(); bit != backlog_.end();) {
+        bit = view_.contains(bit->first) ? std::next(bit) : backlog_.erase(bit);
+      }
+      for (auto it = unacked_.begin(); it != unacked_.end();) {
+        Pending& p = it->second;
+        if (!view_.contains(p.target)) {
+          --in_flight_[p.target];
+          unacked_count_.fetch_sub(1, std::memory_order_relaxed);
+          it = unacked_.erase(it);  // target evicted: give up
+          continue;
+        }
+        if (now - p.last_sent >= options().retransmit_timeout) {
+          p.last_sent = now;
+          retransmissions_.add();
+          out.trigger(events_->transport_send,
+                      Message::of(TransportSend{p.target, Wire{p.data}}));
+        }
+        ++it;
+      }
+    }
+    out.flush(ctx);
+  });
+
+  view_change_ = &register_handler("viewChange", [this](Context&, const Message& m) {
+    // Widened race window (Section 3 experiment): the new view is adopted
+    // only after this delay — deliberately *outside* the manual lock, so a
+    // concurrent unsynchronised send can take the lock and read the stale
+    // view while RelCast already uses the new one. Under the VCA policies
+    // the whole computation is isolated and the placement is irrelevant.
+    if (options().view_change_delay.count() > 0) spin_for(options().view_change_delay);
+    auto lock = guard();
+    std::unique_lock snap(snap_mu_);
+    view_ = m.as<View>();
+  });
+}
+
+void RelComm::dispatch_send(Outbox& out, const AppMessage& m, SiteId target) {
+  const std::uint64_t seq = ++out_seq_[target];
+  Pending p{RcData{seq, m}, target, Clock::now()};
+  unacked_.emplace(std::make_pair(target, seq), p);
+  unacked_count_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t now_in_flight = ++in_flight_[target];
+  std::uint64_t peak = peak_in_flight_.load();
+  while (now_in_flight > peak && !peak_in_flight_.compare_exchange_weak(peak, now_in_flight)) {
+  }
+  out.trigger(events_->transport_send, Message::of(TransportSend{target, Wire{p.data}}));
+}
+
+View RelComm::view_snapshot() {
+  std::unique_lock snap(snap_mu_);
+  return view_;
+}
+
+std::uint64_t RelComm::unacked_in_flight() const {
+  return unacked_count_.load(std::memory_order_relaxed);
+}
+
+}  // namespace samoa::gc

@@ -1,0 +1,82 @@
+// RelComm — reliable point-to-point communication (paper Section 3).
+//
+//   handler send (m, target): if (target in view) try to send m to target;
+//   handler recv (m, sender): if (sender in view) asyncTriggerAll FromRComm m;
+//   handler viewChange (new_view): view = new_view;
+//
+// "Try to send" is implemented with per-peer sequence numbers,
+// acknowledgements, and timer-driven retransmission; duplicate suppression
+// keeps at-most-once delivery to the upper layers. Messages to targets
+// outside the current view are silently discarded — the behaviour at the
+// heart of the Section 3 consistency problem — and counted so experiments
+// can observe exactly when the race bites.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "gc/events.hpp"
+#include "gc/gc_mp.hpp"
+#include "gc/view.hpp"
+#include "util/stats.hpp"
+
+namespace samoa::gc {
+
+class RelComm : public GcMicroprotocol {
+ public:
+  RelComm(const GcOptions& opts, const GcEvents& events, SiteId self, View initial_view);
+
+  const Handler* send_handler() const { return send_; }
+  const Handler* recv_data_handler() const { return recv_data_; }
+  const Handler* recv_ack_handler() const { return recv_ack_; }
+  const Handler* retransmit_handler() const { return retransmit_; }
+  const Handler* view_change_handler() const { return view_change_; }
+
+  /// Messages dropped because the target was not in the (possibly stale)
+  /// local view — the Section 3 failure mode.
+  std::uint64_t discarded_out_of_view() const { return discarded_out_of_view_.value(); }
+  std::uint64_t discarded_unknown_sender() const { return discarded_unknown_sender_.value(); }
+  std::uint64_t retransmissions() const { return retransmissions_.value(); }
+  std::uint64_t unacked_in_flight() const;
+  /// Flow control introspection: sends deferred for lack of credits, and
+  /// the peak per-peer in-flight count ever observed.
+  std::uint64_t flow_deferred() const { return flow_deferred_.value(); }
+  std::uint64_t peak_in_flight_per_peer() const { return peak_in_flight_.load(); }
+  View view_snapshot();
+
+ private:
+  struct Pending {
+    RcData data;
+    SiteId target;
+    Clock::time_point last_sent;
+  };
+
+  void dispatch_send(Outbox& out, const AppMessage& m, SiteId target);
+
+  const GcEvents* events_ = nullptr;
+  SiteId self_;
+  View view_;
+  std::unordered_map<SiteId, std::uint64_t> out_seq_;
+  std::map<std::pair<SiteId, std::uint64_t>, Pending> unacked_;  // (target, seq)
+  std::unordered_map<SiteId, std::uint64_t> in_flight_;          // per-peer unacked count
+  std::unordered_map<SiteId, std::deque<AppMessage>> backlog_;   // waiting for credits
+  std::unordered_map<SiteId, std::set<std::uint64_t>> seen_;     // per-sender dedup
+  Counter discarded_out_of_view_;
+  Counter discarded_unknown_sender_;
+  Counter retransmissions_;
+  Counter flow_deferred_;
+  std::atomic<std::uint64_t> peak_in_flight_{0};
+  std::atomic<std::uint64_t> unacked_count_{0};  // mirror of unacked_.size() for cross-thread reads
+  mutable std::mutex snap_mu_;  // guards cross-thread snapshots only
+
+  const Handler* send_ = nullptr;
+  const Handler* recv_data_ = nullptr;
+  const Handler* recv_ack_ = nullptr;
+  const Handler* retransmit_ = nullptr;
+  const Handler* view_change_ = nullptr;
+};
+
+}  // namespace samoa::gc

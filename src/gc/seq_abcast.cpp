@@ -1,0 +1,143 @@
+#include "gc/seq_abcast.hpp"
+
+#include "net/codec.hpp"
+
+namespace samoa::gc {
+
+namespace {
+constexpr char kMagic0 = '\x01';
+constexpr char kMagic1 = 'S';
+}  // namespace
+
+bool SeqABcast::is_order_msg(const std::string& data) {
+  return data.size() >= 2 && data[0] == kMagic0 && data[1] == kMagic1;
+}
+
+std::string SeqABcast::encode_order(MsgId id, std::uint64_t seq) {
+  net::ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(kMagic0));
+  w.put_u8(static_cast<std::uint8_t>(kMagic1));
+  w.put_varint(id);
+  w.put_varint(seq);
+  const auto bytes = w.take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+bool SeqABcast::decode_order(const std::string& data, MsgId& id, std::uint64_t& seq) {
+  if (!is_order_msg(data)) return false;
+  const std::vector<std::uint8_t> bytes(data.begin(), data.end());
+  net::ByteReader r(bytes);
+  try {
+    r.get_u8();
+    r.get_u8();
+    id = r.get_varint();
+    seq = r.get_varint();
+    return r.exhausted();
+  } catch (const net::CodecError&) {
+    return false;
+  }
+}
+
+SeqABcast::SeqABcast(const GcOptions& opts, const GcEvents& events, SiteId self,
+                     View initial_view)
+    : GcMicroprotocol("seq_abcast", opts),
+      events_(&events),
+      self_(self),
+      view_(std::move(initial_view)) {
+  submit_ = &register_handler("submit", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      // MsgId subspace bit 29 keeps sequencer-abcast ids distinct.
+      AppMessage msg{make_msg_id(self_, kSeqChannelBit | ++local_seq_), m.as<std::string>(),
+                     /*atomic=*/true};
+      pending_.emplace(msg.id, msg);
+      out.trigger(events_->bcast, Message::of(msg));
+      maybe_sequence(out);
+    }
+    out.flush(ctx);
+  });
+
+  on_rdeliver_ = &register_handler("on_rdeliver", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto& msg = m.as<AppMessage>();
+      // Beware early returns here: everything queued on `out` must still
+      // reach the flush below.
+      if (!msg.atomic && is_order_msg(msg.data)) {
+        // An order announcement from the (current or previous) sequencer.
+        MsgId id;
+        std::uint64_t seq;
+        if (decode_order(msg.data, id, seq) && !ordered_ids_.contains(id) &&
+            !order_.contains(seq)) {
+          ordered_ids_.insert(id);
+          order_.emplace(seq, id);
+          if (seq >= next_assign_) next_assign_ = seq + 1;  // takeover bookkeeping
+          maybe_deliver(out);
+        }
+      } else if (msg.atomic && in_channel(msg.id, kSeqChannelBit) &&
+                 !delivered_ids_.contains(msg.id) && !pending_.contains(msg.id)) {
+        pending_.emplace(msg.id, msg);
+        maybe_sequence(out);
+        maybe_deliver(out);
+      }
+    }
+    out.flush(ctx);
+  });
+
+  view_change_ = &register_handler("viewChange", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      {
+        std::unique_lock snap(snap_mu_);
+        view_ = m.as<View>();
+      }
+      // Possibly just became the sequencer (takeover): sequence whatever
+      // is pending and unordered.
+      maybe_sequence(out);
+    }
+    out.flush(ctx);
+  });
+}
+
+bool SeqABcast::is_sequencer() const {
+  std::unique_lock snap(snap_mu_);
+  return !view_.members().empty() && view_.members().front() == self_;
+}
+
+void SeqABcast::maybe_sequence(Outbox& out) {
+  if (view_.members().empty() || view_.members().front() != self_) return;
+  for (const auto& [id, msg] : pending_) {
+    (void)msg;
+    if (ordered_ids_.contains(id)) continue;
+    const std::uint64_t seq = next_assign_++;
+    ordered_ids_.insert(id);
+    order_.emplace(seq, id);
+    sequenced_.add();
+    // Announce through RelCast so the mapping reaches every member
+    // reliably (announcements are non-atomic payloads with a magic tag).
+    AppMessage announce{make_msg_id(self_, kSeqOrderChannelBit | seq), encode_order(id, seq),
+                        /*atomic=*/false};
+    out.trigger(events_->bcast, Message::of(announce));
+  }
+  maybe_deliver(out);
+}
+
+void SeqABcast::maybe_deliver(Outbox& out) {
+  for (;;) {
+    auto it = order_.find(next_deliver_);
+    if (it == order_.end()) return;  // order gap
+    auto pit = pending_.find(it->second);
+    if (pit == pending_.end()) return;  // payload not here yet
+    const AppMessage msg = pit->second;
+    pending_.erase(pit);
+    delivered_ids_.insert(msg.id);
+    ++next_deliver_;
+    delivered_.add();
+    out.trigger_all(events_->adeliver, Message::of(msg));
+  }
+}
+
+}  // namespace samoa::gc

@@ -1,0 +1,30 @@
+// Transport microprotocol: the boundary between the event world and the
+// simulated network. Other microprotocols emit TransportSend events; this
+// is the only component that talks to SimNetwork directly, so network
+// access is itself gated by the isolation declarations like any other
+// microprotocol state.
+#pragma once
+
+#include "gc/events.hpp"
+#include "gc/gc_mp.hpp"
+#include "net/codec.hpp"
+#include "net/sim_network.hpp"
+#include "util/stats.hpp"
+
+namespace samoa::gc {
+
+class Transport : public GcMicroprotocol {
+ public:
+  Transport(const GcOptions& opts, const GcEvents& events, net::SimNetwork& net, SiteId self);
+
+  const Handler* send_handler() const { return send_; }
+  std::uint64_t sent() const { return sent_.value(); }
+
+ private:
+  net::SimNetwork& net_;
+  SiteId self_;
+  Counter sent_;
+  const Handler* send_ = nullptr;
+};
+
+}  // namespace samoa::gc

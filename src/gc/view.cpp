@@ -1,0 +1,40 @@
+#include "gc/view.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace samoa::gc {
+
+View::View(std::uint64_t id, std::vector<SiteId> members) : id_(id), members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()), members_.end());
+}
+
+bool View::contains(SiteId site) const {
+  return std::binary_search(members_.begin(), members_.end(), site);
+}
+
+View View::with(SiteId site) const {
+  auto m = members_;
+  m.push_back(site);
+  return View(id_ + 1, std::move(m));
+}
+
+View View::without(SiteId site) const {
+  auto m = members_;
+  m.erase(std::remove(m.begin(), m.end(), site), m.end());
+  return View(id_ + 1, std::move(m));
+}
+
+std::string View::describe() const {
+  std::ostringstream os;
+  os << "view#" << id_ << "{";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i) os << ",";
+    os << members_[i].value();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace samoa::gc

@@ -1,0 +1,50 @@
+// Group views.
+//
+// A view is the current set of sites considered non-faulty, kept
+// consistent across all sites by the Membership microprotocol (paper
+// Section 3). Views are immutable values: transforming a view produces a
+// new one with an incremented identifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace samoa::gc {
+
+class View {
+ public:
+  View() = default;
+  View(std::uint64_t id, std::vector<SiteId> members);
+
+  std::uint64_t id() const { return id_; }
+  const std::vector<SiteId>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+
+  bool contains(SiteId site) const;
+
+  /// Smallest quorum that intersects every other quorum.
+  std::size_t majority() const { return members_.size() / 2 + 1; }
+
+  /// The paper's `view op site` for op '+': id+1, members + site.
+  View with(SiteId site) const;
+  /// `view op site` for op '-': id+1, members - site.
+  View without(SiteId site) const;
+
+  /// Deterministic coordinator rotation (consensus round-robin).
+  SiteId member_at(std::size_t index) const { return members_[index % members_.size()]; }
+
+  std::string describe() const;
+
+  friend bool operator==(const View& a, const View& b) {
+    return a.id_ == b.id_ && a.members_ == b.members_;
+  }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::vector<SiteId> members_;  // kept sorted
+};
+
+}  // namespace samoa::gc

@@ -1,0 +1,23 @@
+#include "gc/wire.hpp"
+
+namespace samoa::gc {
+
+const char* wire_kind(const Wire& wire) {
+  return std::visit(
+      [](const auto& msg) -> const char* {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, RcData>) return "RcData";
+        if constexpr (std::is_same_v<T, RcAck>) return "RcAck";
+        if constexpr (std::is_same_v<T, FdHeartbeat>) return "FdHeartbeat";
+        if constexpr (std::is_same_v<T, CsPrepare>) return "CsPrepare";
+        if constexpr (std::is_same_v<T, CsPromise>) return "CsPromise";
+        if constexpr (std::is_same_v<T, CsAccept>) return "CsAccept";
+        if constexpr (std::is_same_v<T, CsAccepted>) return "CsAccepted";
+        if constexpr (std::is_same_v<T, CsDecide>) return "CsDecide";
+        if constexpr (std::is_same_v<T, ViewInstall>) return "ViewInstall";
+        return "?";
+      },
+      wire);
+}
+
+}  // namespace samoa::gc

@@ -1,0 +1,121 @@
+// Wire format of the group-communication stack.
+//
+// Everything crossing the simulated network is one of these structs inside
+// a `Wire` variant. In-process simulation needs no byte serialization, but
+// the types are value-only (no pointers into node state), so a real codec
+// could be slotted underneath without touching the protocols.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gc/view.hpp"
+#include "util/ids.hpp"
+
+namespace samoa::gc {
+
+/// Globally unique application-message id: origin site in the high bits,
+/// per-origin sequence number in the low bits.
+using MsgId = std::uint64_t;
+
+inline MsgId make_msg_id(SiteId origin, std::uint64_t seq) {
+  return (static_cast<MsgId>(origin.value()) << 32) | (seq & 0xFFFFFFFFull);
+}
+inline SiteId msg_origin(MsgId id) { return SiteId(static_cast<SiteId::value_type>(id >> 32)); }
+
+/// Channel bits inside the per-origin sequence part of a MsgId. Several
+/// broadcast layers share RelCast for dissemination; the bits let each
+/// layer recognise its own messages in the DeliverOut fan-out (a layer
+/// would otherwise order another layer's traffic). 29 bits of sequence
+/// per channel per origin is plenty for any simulated run.
+constexpr std::uint64_t kSeqChannelBit = 1ull << 29;     // sequencer abcast payloads
+constexpr std::uint64_t kSeqOrderChannelBit = 1ull << 28;  // sequencer announcements
+constexpr std::uint64_t kCausalChannelBit = 1ull << 30;  // causal broadcasts
+constexpr std::uint64_t kPlainChannelBit = 1ull << 31;   // plain reliable broadcasts
+
+inline bool in_channel(MsgId id, std::uint64_t bit) { return (id & bit) != 0; }
+/// Consensus-ABcast messages use no channel bit (plain low sequence).
+inline bool is_consensus_channel(MsgId id) {
+  return (id & (kSeqChannelBit | kSeqOrderChannelBit | kCausalChannelBit | kPlainChannelBit)) ==
+         0;
+}
+
+/// An application payload travelling through RelCast / ABcast. `atomic`
+/// marks messages whose delivery order is decided by consensus (they are
+/// disseminated via RelCast but only delivered via ADeliver).
+struct AppMessage {
+  MsgId id = 0;
+  std::string data;
+  bool atomic = false;
+
+  friend bool operator==(const AppMessage& a, const AppMessage& b) {
+    return a.id == b.id && a.data == b.data && a.atomic == b.atomic;
+  }
+};
+
+// --- RelComm (reliable point-to-point) ---
+struct RcData {
+  std::uint64_t seq = 0;  // per (sender -> receiver) sequence for ack/dedup
+  AppMessage body;
+};
+struct RcAck {
+  std::uint64_t seq = 0;
+};
+
+// --- Failure detector ---
+struct FdHeartbeat {
+  std::uint64_t epoch = 0;
+};
+
+// --- Consensus (single-decree, Paxos-style, one instance per slot) ---
+using ConsensusValue = std::vector<AppMessage>;
+
+struct CsPrepare {
+  std::uint64_t instance = 0;
+  std::uint64_t round = 0;
+};
+struct CsPromise {
+  std::uint64_t instance = 0;
+  std::uint64_t round = 0;
+  std::uint64_t accepted_round = 0;  // 0: nothing accepted yet
+  std::optional<ConsensusValue> accepted_value;
+};
+struct CsAccept {
+  std::uint64_t instance = 0;
+  std::uint64_t round = 0;
+  ConsensusValue value;
+};
+struct CsAccepted {
+  std::uint64_t instance = 0;
+  std::uint64_t round = 0;
+};
+struct CsDecide {
+  std::uint64_t instance = 0;
+  ConsensusValue value;
+};
+
+// --- Membership ---
+/// Direct view installation for a site joining the group (the state-
+/// transfer shortcut: the paper's system does a full ST protocol, we ship
+/// the view only — the preserved behaviour is the ViewChange cascade).
+struct ViewInstall {
+  std::uint64_t view_id = 0;
+  std::vector<SiteId> members;
+};
+
+using Wire = std::variant<RcData, RcAck, FdHeartbeat, CsPrepare, CsPromise, CsAccept, CsAccepted,
+                          CsDecide, ViewInstall>;
+
+/// Human-readable wire kind, for diagnostics and drop logs.
+const char* wire_kind(const Wire& wire);
+
+/// Wire messages handed to handlers carry their sender alongside the body.
+struct FromWire {
+  SiteId from;
+  Wire wire;
+};
+
+}  // namespace samoa::gc

@@ -1,0 +1,127 @@
+#include "net/sim_network.hpp"
+
+namespace samoa::net {
+
+namespace {
+std::uint64_t pack_pair(SiteId a, SiteId b) {
+  return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+}
+}  // namespace
+
+SimNetwork::SimNetwork(LinkOptions defaults, std::uint64_t seed)
+    : defaults_(defaults), rng_(seed), delivery_thread_([this] { delivery_loop(); }) {}
+
+SimNetwork::~SimNetwork() {
+  {
+    std::unique_lock lock(mu_);
+    shutdown_ = true;
+    cv_.notify_all();
+  }
+  delivery_thread_.join();
+}
+
+SiteId SimNetwork::add_site(DeliveryFn deliver) {
+  std::unique_lock lock(mu_);
+  sites_.push_back(std::move(deliver));
+  return SiteId(static_cast<SiteId::value_type>(sites_.size() - 1));
+}
+
+const LinkOptions& SimNetwork::link_for(SiteId from, SiteId to) const {
+  auto it = links_.find(pack_pair(from, to));
+  return it == links_.end() ? defaults_ : it->second;
+}
+
+void SimNetwork::send(SiteId from, SiteId to, Message payload) {
+  std::unique_lock lock(mu_);
+  stats_.sent.add();
+  const bool unknown = to.value() >= sites_.size();
+  const bool blocked = crashed_.contains(from) || crashed_.contains(to) ||
+                       partitioned_.contains(pack_pair(from, to));
+  const LinkOptions& link = link_for(from, to);
+  if (unknown || blocked || rng_.chance(link.drop_probability)) {
+    stats_.dropped.add();
+    return;
+  }
+  auto latency = link.base_latency;
+  if (link.jitter.count() > 0) {
+    latency += std::chrono::microseconds(
+        rng_.next_below(static_cast<std::uint64_t>(link.jitter.count()) + 1));
+  }
+  in_flight_.push(InFlight{Clock::now() + latency, next_seq_++, Packet{from, to, std::move(payload)}});
+  cv_.notify_all();
+}
+
+void SimNetwork::set_link(SiteId from, SiteId to, LinkOptions opts) {
+  std::unique_lock lock(mu_);
+  links_[pack_pair(from, to)] = opts;
+}
+
+void SimNetwork::set_partitioned(SiteId a, SiteId b, bool partitioned) {
+  std::unique_lock lock(mu_);
+  if (partitioned) {
+    partitioned_.insert(pack_pair(a, b));
+    partitioned_.insert(pack_pair(b, a));
+  } else {
+    partitioned_.erase(pack_pair(a, b));
+    partitioned_.erase(pack_pair(b, a));
+  }
+}
+
+void SimNetwork::crash(SiteId site) {
+  std::unique_lock lock(mu_);
+  crashed_.insert(site);
+}
+
+bool SimNetwork::crashed(SiteId site) const {
+  std::unique_lock lock(mu_);
+  return crashed_.contains(site);
+}
+
+void SimNetwork::detach(SiteId site) {
+  std::unique_lock lock(mu_);
+  crashed_.insert(site);
+  cv_.wait(lock, [&] { return delivering_ != site; });
+  if (site.value() < sites_.size()) sites_[site.value()] = nullptr;
+}
+
+void SimNetwork::drain() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return in_flight_.empty(); });
+}
+
+void SimNetwork::delivery_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (shutdown_) return;
+    if (in_flight_.empty()) {
+      cv_.wait(lock, [this] { return shutdown_ || !in_flight_.empty(); });
+      continue;
+    }
+    const auto deadline = in_flight_.top().deliver_at;
+    if (Clock::now() < deadline) {
+      cv_.wait_until(lock, deadline);
+      continue;  // re-check: new earlier packet or shutdown may have arrived
+    }
+    InFlight item = in_flight_.top();
+    in_flight_.pop();
+    // Late crash check: packets in flight to a site that crashed meanwhile
+    // are lost (the site is gone).
+    const bool lost =
+        crashed_.contains(item.packet.to) || sites_[item.packet.to.value()] == nullptr;
+    if (lost) {
+      stats_.dropped.add();
+      if (in_flight_.empty()) cv_.notify_all();
+      continue;
+    }
+    DeliveryFn deliver = sites_[item.packet.to.value()];
+    delivering_ = item.packet.to;
+    lock.unlock();
+    deliver(item.packet);
+    lock.lock();
+    delivering_ = SiteId{};
+    stats_.delivered.add();
+    cv_.notify_all();
+  }
+}
+
+}  // namespace samoa::net

@@ -1,0 +1,118 @@
+// Simulated multi-site network.
+//
+// Substitute for the paper's "distributed machines" testbed (Section 7):
+// an in-process message bus connecting simulated sites with configurable
+// per-link latency, jitter, loss and partitions, plus site crashes. A
+// single delivery thread dequeues packets in virtual-arrival order and
+// hands them to the destination site's delivery callback — which, in the
+// group-communication stack, spawns an isolated computation, exactly the
+// external-event path of a real deployment.
+//
+// Determinism: all randomness (jitter, drops) comes from a seeded Rng, so
+// a run is reproducible given (seed, workload timing). Latency is wall-
+// clock based, which is what the overhead experiments need.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/event.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace samoa::net {
+
+struct Packet {
+  SiteId from;
+  SiteId to;
+  Message payload;
+};
+
+struct LinkOptions {
+  std::chrono::microseconds base_latency{100};
+  std::chrono::microseconds jitter{0};  // uniform extra in [0, jitter]
+  double drop_probability = 0.0;
+};
+
+class SimNetwork {
+ public:
+  using DeliveryFn = std::function<void(const Packet&)>;
+
+  explicit SimNetwork(LinkOptions defaults = {}, std::uint64_t seed = 1);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Register a site; `deliver` runs on the network's delivery thread for
+  /// every packet addressed to it (it should hand off quickly, e.g. spawn
+  /// an isolated computation).
+  SiteId add_site(DeliveryFn deliver);
+
+  /// Send a packet. Unknown destinations, crashed endpoints, partitions
+  /// and random drops silently discard it (UDP semantics).
+  void send(SiteId from, SiteId to, Message payload);
+
+  /// Directional link override (from -> to).
+  void set_link(SiteId from, SiteId to, LinkOptions opts);
+
+  /// Cut / heal both directions between a and b.
+  void set_partitioned(SiteId a, SiteId b, bool partitioned);
+
+  /// Crash a site: everything to/from it is dropped from now on.
+  void crash(SiteId site);
+  bool crashed(SiteId site) const;
+
+  /// Remove a site's delivery callback. Blocks until any in-progress
+  /// delivery to that site finished, so the callee can be destroyed safely
+  /// afterwards. Implies crash(site).
+  void detach(SiteId site);
+
+  /// Block until no packet is in flight.
+  void drain();
+
+  struct Stats {
+    Counter sent;
+    Counter delivered;
+    Counter dropped;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    Clock::time_point deliver_at;
+    std::uint64_t seq;  // FIFO tiebreak for equal deadlines
+    Packet packet;
+    bool operator>(const InFlight& o) const {
+      return std::tie(deliver_at, seq) > std::tie(o.deliver_at, o.seq);
+    }
+  };
+
+  void delivery_loop();
+  const LinkOptions& link_for(SiteId from, SiteId to) const;
+
+  LinkOptions defaults_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Rng rng_;
+  std::vector<DeliveryFn> sites_;
+  std::unordered_set<std::uint64_t> partitioned_;  // packed (a,b) pairs
+  std::unordered_map<std::uint64_t, LinkOptions> links_;
+  std::unordered_set<SiteId> crashed_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight_;
+  SiteId delivering_;  // site whose callback is currently running
+  std::uint64_t next_seq_ = 0;
+  bool shutdown_ = false;
+  Stats stats_;
+  std::thread delivery_thread_;
+};
+
+}  // namespace samoa::net

@@ -1,0 +1,65 @@
+// Timer service — timeouts as external events.
+//
+// In the SAMOA model a timeout is one of the two canonical external events
+// (Section 2). The TimerService runs one thread with a deadline-ordered
+// queue; expired callbacks fire on that thread and typically spawn an
+// isolated computation on the owning site's runtime. Supports one-shot and
+// periodic timers with cancellation.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/stats.hpp"
+
+namespace samoa::net {
+
+using TimerId = std::uint64_t;
+
+class TimerService {
+ public:
+  TimerService();
+  ~TimerService();
+
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+  /// Fire `fn` once after `delay`.
+  TimerId schedule(std::chrono::microseconds delay, std::function<void()> fn);
+
+  /// Fire `fn` every `interval` until cancelled.
+  TimerId schedule_periodic(std::chrono::microseconds interval, std::function<void()> fn);
+
+  /// Cancel a timer; returns false if it already fired (one-shot) or was
+  /// unknown. A periodic timer stops firing after cancel.
+  bool cancel(TimerId id);
+
+  /// Cancel everything (used at site shutdown / crash).
+  void cancel_all();
+
+  std::uint64_t fired_count() const { return fired_.value(); }
+
+ private:
+  struct Entry {
+    TimerId id;
+    std::chrono::microseconds interval{0};  // zero: one-shot
+    std::function<void()> fn;
+  };
+
+  void loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::multimap<Clock::time_point, Entry> queue_;
+  TimerId next_id_ = 1;
+  bool shutdown_ = false;
+  Counter fired_;
+  std::thread thread_;
+};
+
+}  // namespace samoa::net

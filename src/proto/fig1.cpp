@@ -1,0 +1,105 @@
+#include "proto/fig1.hpp"
+
+#include "util/sync.hpp"
+
+namespace samoa::proto {
+
+/// A stage of the Figure 1 protocol: logs its execution, burns the
+/// per-stage delay carried by the message, and forwards to the next event
+/// type (if any).
+class Fig1Protocol::Stage : public Microprotocol {
+ public:
+  Stage(Fig1Protocol& proto, std::string name, const EventType* next, int which_delay)
+      : Microprotocol(std::move(name)) {
+    handler = &register_handler("run", [this, &proto, next, which_delay](Context& ctx,
+                                                                         const Message& m) {
+      const auto& msg = m.as<Fig1Msg>();
+      {
+        std::unique_lock lock(proto.log_mu_);
+        proto.log_.push_back(this->name() + ":" + msg.tag);
+      }
+      switch (which_delay) {
+        case 0:
+          spin_for(msg.delay_pq);
+          break;
+        case 1:
+          spin_for(msg.delay_r);
+          break;
+        default:
+          spin_for(msg.delay_s);
+          break;
+      }
+      if (next != nullptr) ctx.trigger(*next, m);
+    });
+  }
+
+  const Handler* handler = nullptr;
+};
+
+Fig1Protocol::Fig1Protocol() {
+  p_ = &stack_.emplace<Stage>(*this, "P", &ev_r_, 0);
+  q_ = &stack_.emplace<Stage>(*this, "Q", &ev_r_, 0);
+  r_ = &stack_.emplace<Stage>(*this, "R", &ev_s_, 1);
+  s_ = &stack_.emplace<Stage>(*this, "S", nullptr, 2);
+  stack_.bind(ev_a0_, *p_->handler);
+  stack_.bind(ev_b0_, *q_->handler);
+  stack_.bind(ev_r_, *r_->handler);
+  stack_.bind(ev_s_, *s_->handler);
+}
+
+const Microprotocol& Fig1Protocol::p() const { return *p_; }
+const Microprotocol& Fig1Protocol::q() const { return *q_; }
+const Microprotocol& Fig1Protocol::r() const { return *r_; }
+const Microprotocol& Fig1Protocol::s() const { return *s_; }
+
+Isolation Fig1Protocol::iso_a_basic() const { return Isolation::basic({p_, r_, s_}); }
+Isolation Fig1Protocol::iso_b_basic() const { return Isolation::basic({q_, r_, s_}); }
+
+Isolation Fig1Protocol::iso_a_bound() const {
+  return Isolation::bound({{p_, 1}, {r_, 1}, {s_, 1}});
+}
+Isolation Fig1Protocol::iso_b_bound() const {
+  return Isolation::bound({{q_, 1}, {r_, 1}, {s_, 1}});
+}
+
+Isolation Fig1Protocol::iso_a_route() const {
+  return Isolation::route(RouteSpec{}
+                              .entry(*p_->handler)
+                              .edge(*p_->handler, *r_->handler)
+                              .edge(*r_->handler, *s_->handler));
+}
+Isolation Fig1Protocol::iso_b_route() const {
+  return Isolation::route(RouteSpec{}
+                              .entry(*q_->handler)
+                              .edge(*q_->handler, *r_->handler)
+                              .edge(*r_->handler, *s_->handler));
+}
+
+ComputationHandle Fig1Protocol::spawn(Runtime& rt, Fig1Msg msg) const {
+  const bool is_a = msg.tag == 'a';
+  Isolation iso = [&] {
+    switch (rt.policy()) {
+      case CCPolicy::kVCABound:
+        return is_a ? iso_a_bound() : iso_b_bound();
+      case CCPolicy::kVCARoute:
+        return is_a ? iso_a_route() : iso_b_route();
+      default:
+        return is_a ? iso_a_basic() : iso_b_basic();
+    }
+  }();
+  const EventType& ev = is_a ? ev_a0_ : ev_b0_;
+  return rt.spawn_isolated(std::move(iso),
+                           [&ev, msg](Context& ctx) { ctx.trigger(ev, Message::of(msg)); });
+}
+
+std::vector<std::string> Fig1Protocol::access_log() const {
+  std::unique_lock lock(log_mu_);
+  return log_;
+}
+
+void Fig1Protocol::clear_log() {
+  std::unique_lock lock(log_mu_);
+  log_.clear();
+}
+
+}  // namespace samoa::proto

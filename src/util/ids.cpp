@@ -1,0 +1,21 @@
+#include "util/ids.hpp"
+
+#include <ostream>
+
+namespace samoa {
+
+namespace {
+template <typename Tag>
+std::ostream& print(std::ostream& os, const char* prefix, Id<Tag> id) {
+  if (!id.valid()) return os << prefix << "<invalid>";
+  return os << prefix << id.value();
+}
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, EventTypeId id) { return print(os, "ev", id); }
+std::ostream& operator<<(std::ostream& os, MicroprotocolId id) { return print(os, "mp", id); }
+std::ostream& operator<<(std::ostream& os, HandlerId id) { return print(os, "h", id); }
+std::ostream& operator<<(std::ostream& os, ComputationId id) { return print(os, "k", id); }
+std::ostream& operator<<(std::ostream& os, SiteId id) { return print(os, "site", id); }
+
+}  // namespace samoa

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in samoa-cpp (simulated link latency, loss,
+// benchmark workloads, property-test schedules) draws from explicitly
+// seeded generators so that every run is reproducible. We implement
+// SplitMix64 (for seeding) and xoshiro256** (for streams); both are tiny,
+// fast, and have well-understood statistical quality.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace samoa {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the repository's workhorse PRNG.
+/// Satisfies (most of) UniformRandomBitGenerator so it can be used with
+/// <random> distributions, though we provide the handful of helpers the
+/// codebase needs directly to avoid libstdc++ distribution variance.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDDEADBEEFULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed double with the given mean (mean <= 0 -> 0).
+  double exponential(double mean);
+
+  /// Derive an independent stream (e.g. one per simulated link).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace samoa

@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace samoa {
+
+Histogram::Histogram() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::bucket_for(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  // 4 buckets per power of two: index = 4*log2(ns) + 2-bit sub-position.
+  int log2 = 63 - __builtin_clzll(ns);
+  int sub = log2 >= 2 ? static_cast<int>((ns >> (log2 - 2)) & 0x3) : 0;
+  int idx = log2 * 4 + sub;
+  return std::min(idx, kBuckets - 1);
+}
+
+double Histogram::bucket_upper_ns(int b) {
+  int log2 = b / 4;
+  int sub = b % 4;
+  return std::ldexp(1.0 + (sub + 1) * 0.25, log2);
+}
+
+void Histogram::record_ns(std::uint64_t ns) {
+  buckets_[bucket_for(ns)].fetch_add(1, std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const { return total_count_.load(std::memory_order_relaxed); }
+
+double Histogram::mean_ns() const {
+  const auto c = total_count_.load(std::memory_order_relaxed);
+  if (c == 0) return 0.0;
+  return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) / static_cast<double>(c);
+}
+
+double Histogram::quantile_ns(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const auto c = total_count_.load(std::memory_order_relaxed);
+  if (c == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(c)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= target) return bucket_upper_ns(b);
+  }
+  return bucket_upper_ns(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  total_count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::cout << "| ";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      std::cout << cell << std::string(widths[i] - cell.size(), ' ') << " | ";
+    }
+    std::cout << "\n";
+  };
+
+  if (!title.empty()) std::cout << "\n== " << title << " ==\n";
+  print_row(headers_);
+  std::cout << "|";
+  for (std::size_t w : widths) std::cout << std::string(w + 2, '-') << "|";
+  std::cout << "\n";
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+std::string format_duration_ns(double ns) {
+  const char* unit = "ns";
+  double v = ns;
+  if (v >= 1e9) {
+    v /= 1e9;
+    unit = "s";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "ms";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    unit = "us";
+  }
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(v < 10 ? 2 : 1);
+  os << v << unit;
+  return os.str();
+}
+
+}  // namespace samoa

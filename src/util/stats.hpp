@@ -1,0 +1,89 @@
+// Lightweight measurement utilities shared by the runtime, the tests and
+// the benchmark harnesses: thread-safe counters, latency histograms with
+// percentile extraction, and a fixed-width table printer used by the
+// experiment binaries to emit paper-style result tables.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace samoa {
+
+using Clock = std::chrono::steady_clock;
+using Nanos = std::chrono::nanoseconds;
+
+/// Monotone counter, safe for concurrent increments.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latency histogram with logarithmic buckets covering ~1ns .. ~1000s.
+/// Records are lock-free; percentile extraction takes a snapshot.
+class Histogram {
+ public:
+  Histogram();
+
+  void record(Nanos d) { record_ns(static_cast<std::uint64_t>(d.count() < 0 ? 0 : d.count())); }
+  void record_ns(std::uint64_t ns);
+
+  std::uint64_t count() const;
+  double mean_ns() const;
+  /// q in [0, 1]; returns an upper bound of the bucket containing quantile q.
+  double quantile_ns(double q) const;
+  void reset();
+
+ private:
+  static constexpr int kBuckets = 128;
+  static int bucket_for(std::uint64_t ns);
+  static double bucket_upper_ns(int b);
+
+  std::atomic<std::uint64_t> buckets_[kBuckets];
+  std::atomic<std::uint64_t> total_count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+/// RAII timer recording into a histogram on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : hist_(h), start_(Clock::now()) {}
+  ~ScopedTimer() { hist_.record(std::chrono::duration_cast<Nanos>(Clock::now() - start_)); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& hist_;
+  Clock::time_point start_;
+};
+
+/// Fixed-width ASCII table used by the bench binaries; mirrors the way the
+/// paper would present a results table (header row + one row per cell).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render to stdout with column alignment.
+  void print(const std::string& title = "") const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a nanosecond quantity with an adaptive unit (ns/us/ms/s).
+std::string format_duration_ns(double ns);
+
+}  // namespace samoa

@@ -1,0 +1,103 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace samoa {
+
+ElasticThreadPool::ElasticThreadPool(Options opts) : opts_(opts) {
+  if (opts_.min_threads > opts_.max_threads) opts_.min_threads = opts_.max_threads;
+  std::unique_lock lock(mu_);
+  for (std::size_t i = 0; i < opts_.min_threads; ++i) spawn_worker_locked();
+}
+
+ElasticThreadPool::~ElasticThreadPool() { shutdown(); }
+
+void ElasticThreadPool::spawn_worker_locked() {
+  workers_.emplace_back([this] { worker_loop(); });
+  ++live_;
+  peak_ = std::max(peak_, live_);
+}
+
+void ElasticThreadPool::reap_retired_locked() {
+  if (retired_.empty()) return;
+  for (auto it = workers_.begin(); it != workers_.end();) {
+    const bool is_retired =
+        std::find(retired_.begin(), retired_.end(), it->get_id()) != retired_.end();
+    if (is_retired) {
+      it->join();
+      it = workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  retired_.clear();
+}
+
+void ElasticThreadPool::submit(std::function<void()> task) {
+  std::unique_lock lock(mu_);
+  if (shutdown_) throw std::runtime_error("ElasticThreadPool: submit after shutdown");
+  tasks_.push_back(std::move(task));
+  reap_retired_locked();
+  // Grow whenever queued work exceeds the number of waiting workers. The
+  // idle_ count can be momentarily stale (a notified worker decrements it
+  // only after re-acquiring the lock), so comparing against the queue
+  // depth — rather than testing idle_ == 0 — is what prevents a task from
+  // being stranded while every live worker is blocked inside a handler or
+  // version gate.
+  if (tasks_.size() > idle_ && live_ < opts_.max_threads) spawn_worker_locked();
+  cv_.notify_one();
+}
+
+void ElasticThreadPool::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    ++idle_;
+    const bool has_work = cv_.wait_for(lock, opts_.idle_timeout, [this] {
+      return !tasks_.empty() || shutdown_;
+    });
+    --idle_;
+    if (!tasks_.empty()) {
+      auto task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();  // exceptions from tasks are the caller's responsibility
+      lock.lock();
+      continue;
+    }
+    if (shutdown_) break;
+    if (!has_work && live_ > opts_.min_threads) {
+      // Idle timeout: retire this worker. It cannot join itself, so it
+      // leaves its id for the next submit/shutdown to reap.
+      retired_.push_back(std::this_thread::get_id());
+      --live_;
+      return;
+    }
+  }
+  --live_;
+}
+
+void ElasticThreadPool::shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+    cv_.notify_all();
+    to_join.swap(workers_);
+    retired_.clear();
+  }
+  for (auto& t : to_join) t.join();
+}
+
+std::size_t ElasticThreadPool::thread_count() const {
+  std::unique_lock lock(mu_);
+  return live_;
+}
+
+std::size_t ElasticThreadPool::peak_thread_count() const {
+  std::unique_lock lock(mu_);
+  return peak_;
+}
+
+}  // namespace samoa

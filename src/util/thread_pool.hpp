@@ -1,0 +1,67 @@
+// Elastic thread pool.
+//
+// SAMOA computations may block inside version gates (the concurrency
+// control algorithms delay handler calls whose version is not yet
+// current). A fixed-size pool could therefore deadlock: every worker might
+// be parked in a gate waiting for a computation whose remaining work can
+// only run on a pool thread. This pool preserves the paper's
+// deadlock-freedom argument by growing whenever a task is submitted and no
+// worker is idle, so a runnable task is never starved by blocked workers.
+// Idle workers retire after a timeout down to a configurable floor.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace samoa {
+
+class ElasticThreadPool {
+ public:
+  struct Options {
+    std::size_t min_threads = 1;
+    /// Backstop against runaway growth; hitting it indicates a bug in the
+    /// caller (e.g. unbounded recursion of blocking tasks).
+    std::size_t max_threads = 1024;
+    std::chrono::milliseconds idle_timeout{200};
+  };
+
+  ElasticThreadPool() : ElasticThreadPool(Options{}) {}
+  explicit ElasticThreadPool(Options opts);
+  ~ElasticThreadPool();
+
+  ElasticThreadPool(const ElasticThreadPool&) = delete;
+  ElasticThreadPool& operator=(const ElasticThreadPool&) = delete;
+
+  /// Enqueue a task. Never blocks; grows the pool if all workers are busy.
+  /// Throws std::runtime_error after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Stop accepting tasks, run the backlog to completion, join all workers.
+  void shutdown();
+
+  std::size_t thread_count() const;
+  std::size_t peak_thread_count() const;
+
+ private:
+  void worker_loop();
+  void spawn_worker_locked();
+  void reap_retired_locked();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::vector<std::thread::id> retired_;
+  std::size_t idle_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace samoa

@@ -1,0 +1,197 @@
+#include "verify/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+namespace samoa {
+
+namespace {
+
+struct Access {
+  ComputationId comp;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  bool read_only = false;
+};
+
+struct CompSpan {
+  std::uint64_t spawn = ~std::uint64_t{0};
+  std::uint64_t first_start = ~std::uint64_t{0};  // first handler commenced
+  std::uint64_t done = 0;
+
+  // The paper's serial-run definition is about when *handlers* commence,
+  // not when the external event was issued: a computation queued behind a
+  // running one still yields a serial run.
+  std::uint64_t begin() const { return first_start != ~std::uint64_t{0} ? first_start : spawn; }
+};
+
+}  // namespace
+
+std::string IsolationReport::summary() const {
+  std::ostringstream os;
+  os << (isolated ? "ISOLATED" : "VIOLATED") << (serial ? " (serial)" : " (concurrent)");
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+IsolationReport check_isolation(const std::vector<TraceEvent>& events, bool allow_incomplete) {
+  IsolationReport report;
+
+  // Collect handler-execution intervals per microprotocol. Start/end pairs
+  // are matched per (computation, handler) in FIFO order — handler bodies
+  // never nest on one thread for the same (comp, handler) without the
+  // inner one finishing first, and matching order does not affect the
+  // block analysis below.
+  std::unordered_map<MicroprotocolId, std::vector<Access>> per_mp;
+  std::map<std::pair<ComputationId, HandlerId>, std::vector<std::uint64_t>> open;
+  std::unordered_map<ComputationId, CompSpan> spans;
+
+  // TSO restarts: accesses before a computation's last kAbort were rolled
+  // back and never became visible — exclude them from the analysis.
+  std::unordered_map<ComputationId, std::uint64_t> last_abort;
+  for (const auto& e : events) {
+    if (e.phase == TracePhase::kAbort) last_abort[e.computation] = e.seq;
+  }
+
+  for (const auto& e : events) {
+    if (e.phase == TracePhase::kStart || e.phase == TracePhase::kEnd ||
+        e.phase == TracePhase::kIssue) {
+      auto it = last_abort.find(e.computation);
+      if (it != last_abort.end() && e.seq < it->second) continue;  // rolled back
+    }
+    switch (e.phase) {
+      case TracePhase::kSpawn:
+        spans[e.computation].spawn = e.seq;
+        break;
+      case TracePhase::kDone:
+        spans[e.computation].done = e.seq;
+        break;
+      case TracePhase::kStart: {
+        auto& span = spans[e.computation];
+        span.first_start = std::min(span.first_start, e.seq);
+        open[{e.computation, e.handler}].push_back(e.seq);
+        break;
+      }
+      case TracePhase::kEnd: {
+        auto& starts = open[{e.computation, e.handler}];
+        if (starts.empty()) {
+          report.isolated = false;
+          report.violations.push_back("kEnd without matching kStart in trace");
+          break;
+        }
+        per_mp[e.microprotocol].push_back(
+            Access{e.computation, starts.front(), e.seq, e.read_only});
+        starts.erase(starts.begin());
+        break;
+      }
+      case TracePhase::kIssue:
+      case TracePhase::kAbort:
+        break;
+    }
+  }
+
+  for (const auto& [key, starts] : open) {
+    if (!starts.empty() && !allow_incomplete) {
+      std::ostringstream os;
+      os << "pending handler execution (" << key.first << ", " << key.second
+         << ") — run is not complete";
+      report.isolated = false;
+      report.violations.push_back(os.str());
+    }
+  }
+
+  // Serial check: do any two computations' lifetimes overlap at all?
+  {
+    std::vector<CompSpan> all;
+    for (const auto& [k, s] : spans) {
+      (void)k;
+      if (s.done != 0) all.push_back(s);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const CompSpan& a, const CompSpan& b) { return a.begin() < b.begin(); });
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      if (all[i].begin() < all[i - 1].done) {
+        report.serial = false;
+        break;
+      }
+    }
+  }
+
+  // Per-microprotocol conflict analysis + precedence edges. Two accesses
+  // conflict when they come from different computations and at least one
+  // of them may write (read-read pairs commute, so reader groups — the
+  // VCArw extension — are legal). Conflicting accesses must be disjoint in
+  // time and induce a precedence edge; a cycle among edges means no
+  // equivalent serial execution exists.
+  std::unordered_map<ComputationId, std::unordered_set<ComputationId>> succ;
+  std::unordered_set<ComputationId> comps;
+  for (auto& [mp, accesses] : per_mp) {
+    std::sort(accesses.begin(), accesses.end(),
+              [](const Access& a, const Access& b) { return a.start < b.start; });
+    for (const auto& a : accesses) comps.insert(a.comp);
+    int overlap_reports = 0;
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+        const Access& a = accesses[i];
+        const Access& b = accesses[j];  // b.start >= a.start
+        if (a.comp == b.comp) continue;
+        if (a.read_only && b.read_only) continue;  // commuting pair
+        if (a.end <= b.start) {
+          succ[a.comp].insert(b.comp);
+        } else {
+          report.isolated = false;
+          if (++overlap_reports <= 4) {  // cap the noise per microprotocol
+            std::ostringstream os;
+            os << "overlapping conflicting executions on " << mp << ": " << a.comp << " and "
+               << b.comp;
+            report.violations.push_back(os.str());
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle check via iterative DFS (colouring).
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::unordered_map<ComputationId, Colour> colour;
+  for (ComputationId k : comps) colour[k] = Colour::kWhite;
+  std::vector<ComputationId> topo;
+
+  for (ComputationId root : comps) {
+    if (colour[root] != Colour::kWhite) continue;
+    std::vector<std::pair<ComputationId, bool>> stack{{root, false}};
+    while (!stack.empty()) {
+      auto [node, children_done] = stack.back();
+      stack.pop_back();
+      if (children_done) {
+        colour[node] = Colour::kBlack;
+        topo.push_back(node);
+        continue;
+      }
+      if (colour[node] == Colour::kBlack) continue;
+      if (colour[node] == Colour::kGrey) continue;
+      colour[node] = Colour::kGrey;
+      stack.emplace_back(node, true);
+      for (ComputationId next : succ[node]) {
+        if (colour[next] == Colour::kGrey) {
+          std::ostringstream os;
+          os << "precedence cycle between computations " << node << " and " << next;
+          report.isolated = false;
+          report.violations.push_back(os.str());
+        } else if (colour[next] == Colour::kWhite) {
+          stack.emplace_back(next, false);
+        }
+      }
+    }
+  }
+
+  if (report.isolated) {
+    std::reverse(topo.begin(), topo.end());
+    report.equivalent_serial_order = std::move(topo);
+  }
+  return report;
+}
+
+}  // namespace samoa

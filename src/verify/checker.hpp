@@ -1,0 +1,47 @@
+// Isolation checker — the oracle used by tests and experiments.
+//
+// Given a recorded trace, decides whether the execution could have been
+// produced by some serial execution of its computations (the paper's
+// isolation property). The check is conflict-serializability specialised
+// to the SAMOA model, where the unit of conflict is the microprotocol
+// (every handler execution reads and may write its microprotocol's state):
+//
+//  1. Per microprotocol, handler-execution intervals of *different*
+//     computations must not overlap in time (the version gates make each
+//     microprotocol's object exclusive to one computation at a time).
+//  2. Per microprotocol, a computation's accesses must form one
+//     contiguous block (A B A interleavings are unserialisable).
+//  3. The precedence graph over computations (edge A -> B when A's block
+//     on some microprotocol precedes B's) must be acyclic.
+//
+// Violations of 1/2 are reported directly; 3 is decided by cycle search.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "util/ids.hpp"
+
+namespace samoa {
+
+struct IsolationReport {
+  bool isolated = true;
+  /// True when no two computations' whole lifetimes overlapped at all.
+  bool serial = true;
+  std::vector<std::string> violations;
+  /// Serialization order found (topological order of the precedence
+  /// graph); empty when not isolated.
+  std::vector<ComputationId> equivalent_serial_order;
+
+  std::string summary() const;
+};
+
+/// Analyse a recorded trace. Ignores incomplete accesses (kStart without
+/// kEnd) only if `allow_incomplete`; by default they are violations since
+/// complete runs must not have pending events.
+IsolationReport check_isolation(const std::vector<TraceEvent>& events,
+                                bool allow_incomplete = false);
+
+}  // namespace samoa

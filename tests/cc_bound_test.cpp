@@ -1,0 +1,194 @@
+// Tests for VCAbound (paper Section 5.2): window-based gating, Rule 4
+// early release after the budget is used, exhaustion errors, and the extra
+// parallelism over VCAbasic the paper claims.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_support.hpp"
+
+namespace samoa {
+namespace {
+
+using testing::BlockingMp;
+using testing::ProbeMp;
+
+RuntimeOptions bound_opts(bool trace = false) {
+  RuntimeOptions o;
+  o.policy = CCPolicy::kVCABound;
+  o.record_trace = trace;
+  return o;
+}
+
+TEST(VCABound, RequiresBoundDeclaration) {
+  Stack stack;
+  auto& mp = stack.emplace<ProbeMp>("p");
+  EventType ev("Run");
+  stack.bind(ev, *mp.handler);
+  Runtime rt(stack, bound_opts());
+  EXPECT_THROW(rt.spawn_isolated(Isolation::basic({&mp}), [](Context&) {}), ConfigError);
+}
+
+TEST(VCABound, RunsWithinBudget) {
+  Stack stack;
+  auto& mp = stack.emplace<ProbeMp>("p");
+  EventType ev("Run");
+  stack.bind(ev, *mp.handler);
+  Runtime rt(stack, bound_opts());
+  rt.spawn_isolated(Isolation::bound({{&mp, 3}}), [&](Context& ctx) {
+      for (int i = 0; i < 3; ++i) ctx.trigger(ev);
+    }).wait();
+  EXPECT_EQ(mp.calls.load(), 3);
+}
+
+TEST(VCABound, ExhaustedBoundThrows) {
+  Stack stack;
+  auto& mp = stack.emplace<ProbeMp>("p");
+  EventType ev("Run");
+  stack.bind(ev, *mp.handler);
+  Runtime rt(stack, bound_opts());
+  auto h = rt.spawn_isolated(Isolation::bound({{&mp, 2}}), [&](Context& ctx) {
+    for (int i = 0; i < 3; ++i) ctx.trigger(ev);
+  });
+  EXPECT_THROW(h.wait(), IsolationError);
+  EXPECT_EQ(mp.calls.load(), 2);
+}
+
+TEST(VCABound, UndeclaredMicroprotocolThrows) {
+  Stack stack;
+  auto& a = stack.emplace<ProbeMp>("a");
+  auto& b = stack.emplace<ProbeMp>("b");
+  EventType evb("B");
+  stack.bind(evb, *b.handler);
+  Runtime rt(stack, bound_opts());
+  auto h = rt.spawn_isolated(Isolation::bound({{&a, 1}}),
+                             [&](Context& ctx) { ctx.trigger(evb); });
+  EXPECT_THROW(h.wait(), IsolationError);
+}
+
+TEST(VCABound, EarlyReleaseAfterBudgetUsed) {
+  // The headline claim of Section 5.2: once k1 visited p the declared
+  // number of times, k2 may proceed on p *while k1 is still running*.
+  Stack stack;
+  auto& shared = stack.emplace<ProbeMp>("shared");
+  auto& slow = stack.emplace<BlockingMp>("slow");
+  EventType evs("S"), evb("Blk");
+  stack.bind(evs, *shared.handler);
+  stack.bind(evb, *slow.handler);
+  Runtime rt(stack, bound_opts());
+
+  auto k1 = rt.spawn_isolated(Isolation::bound({{&shared, 1}, {&slow, 1}}), [&](Context& ctx) {
+    ctx.trigger(evs);  // budget for `shared` now exhausted -> lv upgraded
+    ctx.trigger(evb);  // park k1 inside `slow`
+  });
+  slow.started.wait();
+  ASSERT_EQ(shared.calls.load(), 1);
+
+  // k2 touches only `shared`; under VCAbasic it would wait for k1 to
+  // complete, under VCAbound it must proceed immediately.
+  auto k2 = rt.spawn_isolated(Isolation::bound({{&shared, 1}}),
+                              [&](Context& ctx) { ctx.trigger(evs); });
+  EXPECT_TRUE(k2.wait_for(std::chrono::milliseconds(5000)))
+      << "VCAbound failed to release `shared` before k1 completed";
+  EXPECT_EQ(shared.calls.load(), 2);
+
+  slow.release.set();
+  k1.wait();
+}
+
+TEST(VCABound, UnderusedBudgetReleasedAtCompletion) {
+  // k1 declares bound 3 but visits once: k2 must wait for k1's completion
+  // (Rule 3), then run.
+  Stack stack;
+  auto& shared = stack.emplace<ProbeMp>("shared");
+  auto& park = stack.emplace<BlockingMp>("park");
+  EventType evs("S"), evp("P");
+  stack.bind(evs, *shared.handler);
+  stack.bind(evp, *park.handler);
+  Runtime rt(stack, bound_opts());
+
+  auto k1 = rt.spawn_isolated(Isolation::bound({{&shared, 3}, {&park, 1}}), [&](Context& ctx) {
+    ctx.trigger(evs);
+    ctx.trigger(evp);
+  });
+  park.started.wait();
+
+  std::atomic<bool> k2_done{false};
+  auto k2 = rt.spawn_isolated(Isolation::bound({{&shared, 1}}), [&](Context& ctx) {
+    ctx.trigger(evs);
+    k2_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(k2_done.load()) << "k2 ran before k1 completed despite unused budget";
+
+  park.release.set();
+  k1.wait();
+  k2.wait();
+  EXPECT_TRUE(k2_done.load());
+}
+
+TEST(VCABound, WindowsChainAcrossThreeComputations) {
+  Stack stack;
+  auto& mp = stack.emplace<ProbeMp>("p", std::chrono::microseconds(200));
+  EventType ev("Run");
+  stack.bind(ev, *mp.handler);
+  Runtime rt(stack, bound_opts(/*trace=*/true));
+  std::vector<ComputationHandle> hs;
+  for (int i = 0; i < 3; ++i) {
+    hs.push_back(rt.spawn_isolated(Isolation::bound({{&mp, 2}}), [&](Context& ctx) {
+      ctx.trigger(ev);
+      ctx.trigger(ev);
+    }));
+  }
+  for (auto& h : hs) h.wait();
+  rt.drain();
+  EXPECT_EQ(mp.calls.load(), 6);
+  testing::expect_isolated(rt);
+}
+
+TEST(VCABound, StressIsIsolated) {
+  Stack stack;
+  auto& a = stack.emplace<ProbeMp>("a", std::chrono::microseconds(30));
+  auto& b = stack.emplace<ProbeMp>("b", std::chrono::microseconds(30));
+  EventType eva("A"), evb("B");
+  stack.bind(eva, *a.handler);
+  stack.bind(evb, *b.handler);
+  Runtime rt(stack, bound_opts(/*trace=*/true));
+  Rng rng(99);
+  std::vector<ComputationHandle> hs;
+  for (int i = 0; i < 50; ++i) {
+    const auto na = 1 + rng.next_below(3);
+    const auto nb = 1 + rng.next_below(3);
+    hs.push_back(rt.spawn_isolated(
+        Isolation::bound({{&a, static_cast<std::uint32_t>(na)},
+                          {&b, static_cast<std::uint32_t>(nb)}}),
+        [&, na, nb](Context& ctx) {
+          for (std::uint64_t j = 0; j < na; ++j) ctx.async_trigger(eva);
+          for (std::uint64_t j = 0; j < nb; ++j) ctx.async_trigger(evb);
+        }));
+  }
+  for (auto& h : hs) h.wait();
+  rt.drain();
+  testing::expect_isolated(rt);
+}
+
+TEST(VCABound, ExhaustionDoesNotWedgeSuccessors) {
+  // A computation that dies on bound exhaustion must still release its
+  // windows so later computations proceed.
+  Stack stack;
+  auto& mp = stack.emplace<ProbeMp>("p");
+  EventType ev("Run");
+  stack.bind(ev, *mp.handler);
+  Runtime rt(stack, bound_opts());
+  auto bad = rt.spawn_isolated(Isolation::bound({{&mp, 1}}), [&](Context& ctx) {
+    ctx.trigger(ev);
+    ctx.trigger(ev);  // throws
+  });
+  EXPECT_THROW(bad.wait(), IsolationError);
+  auto good = rt.spawn_isolated(Isolation::bound({{&mp, 1}}),
+                                [&](Context& ctx) { ctx.trigger(ev); });
+  EXPECT_TRUE(good.wait_for(std::chrono::milliseconds(5000)));
+}
+
+}  // namespace
+}  // namespace samoa

@@ -1,0 +1,251 @@
+// Tests for VCArw — the read/write extension (paper Section 7 future
+// work): reader groups share a microprotocol concurrently, writers stay
+// exclusive and ordered, and declaration violations are rejected.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_support.hpp"
+
+namespace samoa {
+namespace {
+
+using testing::BlockingMp;
+
+RuntimeOptions rw_opts(bool trace = false) {
+  RuntimeOptions o;
+  o.policy = CCPolicy::kVCARW;
+  o.record_trace = trace;
+  return o;
+}
+
+/// Microprotocol with one read-write and one read-only handler, plus
+/// instrumentation for concurrent-reader detection.
+class Register : public Microprotocol {
+ public:
+  Register() : Microprotocol("register") {
+    write = &register_handler("write", [this](Context&, const Message& m) {
+      value = m.as<int>();
+      writes.fetch_add(1);
+    });
+    read = &register_handler(
+        "read",
+        [this](Context&, const Message&) {
+          const int now = readers_in.fetch_add(1) + 1;
+          int seen = max_readers.load();
+          while (now > seen && !max_readers.compare_exchange_weak(seen, now)) {
+          }
+          // Sleep (not spin): on a single-core host a sleeping reader
+          // yields the CPU, so concurrent group members genuinely overlap.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          last_seen.store(value);
+          readers_in.fetch_sub(1);
+          reads.fetch_add(1);
+        },
+        HandlerMode::kReadOnly);
+  }
+  const Handler* write = nullptr;
+  const Handler* read = nullptr;
+  int value = 0;
+  std::atomic<int> writes{0};
+  std::atomic<int> reads{0};
+  std::atomic<int> last_seen{0};
+  std::atomic<int> readers_in{0};
+  std::atomic<int> max_readers{0};
+};
+
+struct Fixture {
+  Stack stack;
+  Register* reg;
+  EventType ev_read{"Read"}, ev_write{"Write"};
+
+  Fixture() {
+    reg = &stack.emplace<Register>();
+    stack.bind(ev_read, *reg->read);
+    stack.bind(ev_write, *reg->write);
+  }
+
+  Isolation reader() const { return Isolation::read_write({{reg, Access::kRead}}); }
+  Isolation writer() const { return Isolation::read_write({{reg, Access::kWrite}}); }
+};
+
+TEST(VCARW, RequiresReadWriteDeclaration) {
+  Fixture f;
+  Runtime rt(f.stack, rw_opts());
+  EXPECT_THROW(rt.spawn_isolated(Isolation::basic({f.reg}), [](Context&) {}), ConfigError);
+}
+
+TEST(VCARW, HandlerModesAreRecorded) {
+  Fixture f;
+  EXPECT_TRUE(f.reg->read->read_only());
+  EXPECT_FALSE(f.reg->write->read_only());
+  EXPECT_EQ(f.reg->read->mode(), HandlerMode::kReadOnly);
+}
+
+TEST(VCARW, ReadDeclarationRejectsWriteHandler) {
+  Fixture f;
+  Runtime rt(f.stack, rw_opts());
+  auto h = rt.spawn_isolated(f.reader(),
+                             [&](Context& ctx) { ctx.trigger(f.ev_write, Message::of(1)); });
+  EXPECT_THROW(h.wait(), IsolationError);
+  EXPECT_EQ(f.reg->writes.load(), 0);
+}
+
+TEST(VCARW, WriteDeclarationAllowsBothHandlerKinds) {
+  Fixture f;
+  Runtime rt(f.stack, rw_opts());
+  rt.spawn_isolated(f.writer(), [&](Context& ctx) {
+      ctx.trigger(f.ev_write, Message::of(7));
+      ctx.trigger(f.ev_read);
+    }).wait();
+  EXPECT_EQ(f.reg->writes.load(), 1);
+  EXPECT_EQ(f.reg->reads.load(), 1);
+  EXPECT_EQ(f.reg->last_seen.load(), 7);
+}
+
+TEST(VCARW, UndeclaredMicroprotocolThrows) {
+  Fixture f;
+  auto& other = f.stack.emplace<Register>();
+  EventType ev_other("Other");
+  f.stack.bind(ev_other, *other.read);
+  Runtime rt(f.stack, rw_opts());
+  auto h = rt.spawn_isolated(f.reader(), [&](Context& ctx) { ctx.trigger(ev_other); });
+  EXPECT_THROW(h.wait(), IsolationError);
+}
+
+TEST(VCARW, ReadersOfOneGroupRunConcurrently) {
+  Fixture f;
+  Runtime rt(f.stack, rw_opts(/*trace=*/true));
+  std::vector<ComputationHandle> hs;
+  for (int i = 0; i < 8; ++i) {
+    hs.push_back(
+        rt.spawn_isolated(f.reader(), [&](Context& ctx) { ctx.trigger(f.ev_read); }));
+  }
+  for (auto& h : hs) h.wait();
+  rt.drain();
+  EXPECT_EQ(f.reg->reads.load(), 8);
+  // All eight were admitted back-to-back into one group; with 500us of
+  // read work on an otherwise idle machine at least two must have
+  // genuinely overlapped.
+  EXPECT_GE(f.reg->max_readers.load(), 2)
+      << "reader group never overlapped — VCArw degraded to exclusive access";
+  testing::expect_isolated(rt);
+}
+
+TEST(VCARW, WritersRemainExclusive) {
+  Fixture f;
+  Runtime rt(f.stack, rw_opts(/*trace=*/true));
+  std::vector<ComputationHandle> hs;
+  for (int i = 0; i < 10; ++i) {
+    hs.push_back(rt.spawn_isolated(
+        f.writer(), [&, i](Context& ctx) { ctx.trigger(f.ev_write, Message::of(i)); }));
+  }
+  for (auto& h : hs) h.wait();
+  rt.drain();
+  EXPECT_EQ(f.reg->writes.load(), 10);
+  EXPECT_EQ(f.reg->value, 9);  // admission order = version order = FIFO
+  testing::expect_isolated(rt);
+}
+
+TEST(VCARW, WriterClosesReaderGroup) {
+  // Readers admitted after a writer must not join the pre-writer group:
+  // they would otherwise read concurrently with state the writer is
+  // mutating. Schedule: R1 (blocking read) | W | R2 — R2 must wait for W.
+  Stack stack;
+  class GatedRegister : public Microprotocol {
+   public:
+    GatedRegister() : Microprotocol("gated") {
+      write = &register_handler("write", [this](Context&, const Message&) {
+        write_done.store(true);
+      });
+      read = &register_handler(
+          "read",
+          [this](Context&, const Message&) {
+            if (!first_read_started.is_set()) {
+              first_read_started.set();
+              release_first.wait();
+            } else {
+              second_saw_write.store(write_done.load());
+            }
+          },
+          HandlerMode::kReadOnly);
+    }
+    const Handler* write = nullptr;
+    const Handler* read = nullptr;
+    OneShotEvent first_read_started, release_first;
+    std::atomic<bool> write_done{false};
+    std::atomic<bool> second_saw_write{false};
+  };
+  auto& reg = stack.emplace<GatedRegister>();
+  EventType ev_read("R"), ev_write("W");
+  stack.bind(ev_read, *reg.read);
+  stack.bind(ev_write, *reg.write);
+  Runtime rt(stack, RuntimeOptions{.policy = CCPolicy::kVCARW, .record_trace = true});
+
+  auto r1 = rt.spawn_isolated(Isolation::read_write({{&reg, Access::kRead}}),
+                              [&](Context& ctx) { ctx.trigger(ev_read); });
+  reg.first_read_started.wait();
+  auto w = rt.spawn_isolated(Isolation::read_write({{&reg, Access::kWrite}}),
+                             [&](Context& ctx) { ctx.trigger(ev_write); });
+  auto r2 = rt.spawn_isolated(Isolation::read_write({{&reg, Access::kRead}}),
+                              [&](Context& ctx) { ctx.trigger(ev_read); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(reg.write_done.load()) << "writer ran while the reader group was active";
+  reg.release_first.set();
+  r1.wait();
+  w.wait();
+  r2.wait();
+  EXPECT_TRUE(reg.second_saw_write.load()) << "post-writer reader joined the pre-writer group";
+  rt.drain();
+  testing::expect_isolated(rt);
+}
+
+TEST(VCARW, MixedWorkloadIsIsolated) {
+  Fixture f;
+  Runtime rt(f.stack, rw_opts(/*trace=*/true));
+  Rng rng(77);
+  std::vector<ComputationHandle> hs;
+  for (int i = 0; i < 60; ++i) {
+    if (rng.chance(0.7)) {
+      hs.push_back(
+          rt.spawn_isolated(f.reader(), [&](Context& ctx) { ctx.trigger(f.ev_read); }));
+    } else {
+      hs.push_back(rt.spawn_isolated(
+          f.writer(), [&, i](Context& ctx) { ctx.trigger(f.ev_write, Message::of(i)); }));
+    }
+  }
+  for (auto& h : hs) h.wait();
+  rt.drain();
+  auto report = testing::expect_isolated(rt);
+  EXPECT_FALSE(report.serial);  // reader groups genuinely overlapped
+}
+
+TEST(VCARW, BlockedReaderDoesNotWedgeLaterGroups) {
+  // A reader group that finishes while an *older* writer still holds the
+  // version must defer its upgrade; everything still completes.
+  Fixture f;
+  auto& park = f.stack.emplace<BlockingMp>("park");
+  EventType ev_park("Park");
+  f.stack.bind(ev_park, *park.handler);
+  Runtime rt(f.stack, rw_opts());
+  // Writer W holds `register` while parked in `park`.
+  auto w = rt.spawn_isolated(
+      Isolation::read_write({{f.reg, Access::kWrite}, {&park, Access::kWrite}}),
+      [&](Context& ctx) {
+        ctx.trigger(f.ev_write, Message::of(1));
+        ctx.trigger(ev_park);
+      });
+  park.started.wait();
+  auto r1 = rt.spawn_isolated(f.reader(), [&](Context& ctx) { ctx.trigger(f.ev_read); });
+  auto r2 = rt.spawn_isolated(f.reader(), [&](Context& ctx) { ctx.trigger(f.ev_read); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(f.reg->reads.load(), 0) << "readers overtook an older writer";
+  park.release.set();
+  w.wait();
+  r1.wait();
+  r2.wait();
+  EXPECT_EQ(f.reg->reads.load(), 2);
+}
+
+}  // namespace
+}  // namespace samoa

@@ -1,0 +1,171 @@
+// Unit tests for the isolation checker on hand-crafted traces, including
+// the paper's runs r1, r2 and r3 (Section 2).
+#include <gtest/gtest.h>
+
+#include "verify/checker.hpp"
+
+namespace samoa {
+namespace {
+
+// Trace-building helpers over fixed ids.
+const ComputationId kA{1}, kB{2};
+const MicroprotocolId mpP{1}, mpQ{2}, mpR{3}, mpS{4};
+const HandlerId hP{1}, hQ{2}, hR{3}, hS{4};
+
+struct TraceBuilder {
+  std::vector<TraceEvent> events;
+  std::uint64_t seq = 0;
+
+  TraceBuilder& spawn(ComputationId k) {
+    events.push_back({seq++, TracePhase::kSpawn, k, {}, {}});
+    return *this;
+  }
+  TraceBuilder& done(ComputationId k) {
+    events.push_back({seq++, TracePhase::kDone, k, {}, {}});
+    return *this;
+  }
+  TraceBuilder& start(ComputationId k, MicroprotocolId mp, HandlerId h) {
+    events.push_back({seq++, TracePhase::kStart, k, mp, h});
+    return *this;
+  }
+  TraceBuilder& end(ComputationId k, MicroprotocolId mp, HandlerId h) {
+    events.push_back({seq++, TracePhase::kEnd, k, mp, h});
+    return *this;
+  }
+  /// start immediately followed by end.
+  TraceBuilder& exec(ComputationId k, MicroprotocolId mp, HandlerId h) {
+    return start(k, mp, h).end(k, mp, h);
+  }
+};
+
+TEST(Checker, EmptyTraceIsIsolated) {
+  auto report = check_isolation({});
+  EXPECT_TRUE(report.isolated);
+  EXPECT_TRUE(report.serial);
+}
+
+TEST(Checker, PaperRunR1SerialIsIsolated) {
+  // r1 = ((a0,P),(a1,R),(a2,S),(b0,Q),(b1,R),(b2,S)) — serial.
+  TraceBuilder t;
+  t.spawn(kA).exec(kA, mpP, hP).exec(kA, mpR, hR).exec(kA, mpS, hS).done(kA);
+  t.spawn(kB).exec(kB, mpQ, hQ).exec(kB, mpR, hR).exec(kB, mpS, hS).done(kB);
+  auto report = check_isolation(t.events);
+  EXPECT_TRUE(report.isolated) << report.summary();
+  EXPECT_TRUE(report.serial);
+}
+
+TEST(Checker, PaperRunR2ConcurrentIsIsolated) {
+  // r2 = ((a0,P),(b0,Q),(a1,R),(a2,S),(b1,R),(b2,S)) — concurrent but
+  // isolated: ka visits R and S strictly before kb.
+  TraceBuilder t;
+  t.spawn(kA).spawn(kB);
+  t.exec(kA, mpP, hP).exec(kB, mpQ, hQ);
+  t.exec(kA, mpR, hR).exec(kA, mpS, hS).done(kA);
+  t.exec(kB, mpR, hR).exec(kB, mpS, hS).done(kB);
+  auto report = check_isolation(t.events);
+  EXPECT_TRUE(report.isolated) << report.summary();
+  EXPECT_FALSE(report.serial);
+  // The equivalent serial order must put kA before kB.
+  ASSERT_EQ(report.equivalent_serial_order.size(), 2u);
+  EXPECT_EQ(report.equivalent_serial_order[0], kA);
+  EXPECT_EQ(report.equivalent_serial_order[1], kB);
+}
+
+TEST(Checker, PaperRunR3ViolatesIsolation) {
+  // r3 = ((a0,P),(b0,Q),(a1,R),(b1,R),(b2,S),(a2,S)):
+  // kb follows ka on R, but ka follows kb on S — a precedence cycle.
+  TraceBuilder t;
+  t.spawn(kA).spawn(kB);
+  t.exec(kA, mpP, hP).exec(kB, mpQ, hQ);
+  t.exec(kA, mpR, hR).exec(kB, mpR, hR);
+  t.exec(kB, mpS, hS).done(kB);
+  t.exec(kA, mpS, hS).done(kA);
+  auto report = check_isolation(t.events);
+  EXPECT_FALSE(report.isolated);
+  EXPECT_FALSE(report.serial);
+}
+
+TEST(Checker, OverlappingExecutionsOnSameMpViolate) {
+  TraceBuilder t;
+  t.spawn(kA).spawn(kB);
+  t.start(kA, mpR, hR).start(kB, mpR, hR).end(kA, mpR, hR).end(kB, mpR, hR);
+  t.done(kA).done(kB);
+  auto report = check_isolation(t.events);
+  EXPECT_FALSE(report.isolated);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Checker, InterleavedBlocksViolate) {
+  // A, then B, then A again on the same microprotocol.
+  TraceBuilder t;
+  t.spawn(kA).spawn(kB);
+  t.exec(kA, mpR, hR).exec(kB, mpR, hR).exec(kA, mpR, hR);
+  t.done(kA).done(kB);
+  auto report = check_isolation(t.events);
+  EXPECT_FALSE(report.isolated);
+}
+
+TEST(Checker, SameComputationMayInterleaveWithItself) {
+  // Multiple executions by one computation are always fine.
+  TraceBuilder t;
+  t.spawn(kA);
+  t.start(kA, mpR, hR).start(kA, mpR, hR).end(kA, mpR, hR).end(kA, mpR, hR);
+  t.done(kA);
+  auto report = check_isolation(t.events);
+  EXPECT_TRUE(report.isolated) << report.summary();
+}
+
+TEST(Checker, PendingExecutionIsViolationByDefault) {
+  TraceBuilder t;
+  t.spawn(kA).start(kA, mpR, hR);
+  auto strict = check_isolation(t.events);
+  EXPECT_FALSE(strict.isolated);
+  auto lax = check_isolation(t.events, /*allow_incomplete=*/true);
+  EXPECT_TRUE(lax.isolated);
+}
+
+TEST(Checker, EndWithoutStartIsViolation) {
+  TraceBuilder t;
+  t.spawn(kA).end(kA, mpR, hR);
+  auto report = check_isolation(t.events);
+  EXPECT_FALSE(report.isolated);
+}
+
+TEST(Checker, ThreeWayCycleDetected) {
+  const ComputationId kC{3};
+  TraceBuilder t;
+  t.spawn(kA).spawn(kB).spawn(kC);
+  t.exec(kA, mpP, hP).exec(kB, mpP, hP);  // A < B on P
+  t.exec(kB, mpQ, hQ).exec(kC, mpQ, hQ);  // B < C on Q
+  t.exec(kC, mpR, hR).exec(kA, mpR, hR);  // C < A on R -> cycle
+  t.done(kA).done(kB).done(kC);
+  auto report = check_isolation(t.events);
+  EXPECT_FALSE(report.isolated);
+}
+
+TEST(Checker, ChainGivesTopologicalOrder) {
+  const ComputationId kC{3};
+  TraceBuilder t;
+  t.spawn(kA).spawn(kB).spawn(kC);
+  t.exec(kB, mpP, hP).exec(kC, mpP, hP);  // B < C
+  t.exec(kA, mpQ, hQ).exec(kB, mpQ, hQ);  // A < B
+  t.done(kA).done(kB).done(kC);
+  auto report = check_isolation(t.events);
+  ASSERT_TRUE(report.isolated) << report.summary();
+  ASSERT_EQ(report.equivalent_serial_order.size(), 3u);
+  EXPECT_EQ(report.equivalent_serial_order[0], kA);
+  EXPECT_EQ(report.equivalent_serial_order[1], kB);
+  EXPECT_EQ(report.equivalent_serial_order[2], kC);
+}
+
+TEST(Checker, SummaryMentionsViolations) {
+  TraceBuilder t;
+  t.spawn(kA).spawn(kB);
+  t.start(kA, mpR, hR).start(kB, mpR, hR).end(kA, mpR, hR).end(kB, mpR, hR);
+  t.done(kA).done(kB);
+  auto report = check_isolation(t.events);
+  EXPECT_NE(report.summary().find("VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace samoa

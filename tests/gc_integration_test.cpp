@@ -1,0 +1,402 @@
+// Integration tests: full group-communication stacks on the simulated
+// network — reliable broadcast, atomic broadcast total order, membership
+// changes, crashes, lossy links, and the Section 3 view-change race.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "gc/group_node.hpp"
+#include "verify/checker.hpp"
+
+namespace samoa::gc {
+namespace {
+
+using net::LinkOptions;
+using net::SimNetwork;
+
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds timeout = std::chrono::milliseconds(20000)) {
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+/// Default options with calm periodic timers, so the suite stays robust
+/// under sanitizer slowdowns (aggressive 2ms ticks measure the scheduler,
+/// not the protocols).
+inline GcOptions calm_opts() {
+  GcOptions o;
+  o.heartbeat_interval = std::chrono::microseconds(20'000);
+  o.fd_timeout = std::chrono::microseconds(200'000);
+  o.cs_retry_interval = std::chrono::microseconds(50'000);
+  o.cs_retry_timeout = std::chrono::microseconds(100'000);
+  return o;
+}
+
+struct Cluster {
+  SimNetwork net;
+  std::vector<std::unique_ptr<GroupNode>> nodes;
+
+  explicit Cluster(int n, GcOptions opts = calm_opts(),
+                   LinkOptions links = LinkOptions{.base_latency = std::chrono::microseconds(100)},
+                   std::uint64_t seed = 1)
+      : net(links, seed) {
+    for (int i = 0; i < n; ++i) nodes.push_back(std::make_unique<GroupNode>(net, opts));
+  }
+
+  /// Start all nodes in the view of the first `in_view` of them (default
+  /// all).
+  void start(int in_view = -1) {
+    if (in_view < 0) in_view = static_cast<int>(nodes.size());
+    std::vector<SiteId> members;
+    for (int i = 0; i < in_view; ++i) members.push_back(nodes[i]->id());
+    const View initial(1, members);
+    for (int i = 0; i < in_view; ++i) nodes[i]->start(initial);
+    // Nodes outside the initial view start alone, awaiting a ViewInstall.
+    for (std::size_t i = in_view; i < nodes.size(); ++i) {
+      nodes[i]->start(View(1, {nodes[i]->id()}));
+    }
+  }
+
+  GroupNode& operator[](std::size_t i) { return *nodes[i]; }
+};
+
+TEST(GcIntegration, RbcastReachesAllSites) {
+  Cluster c(3);
+  c.start();
+  c[0].rbcast("hello").wait();
+  EXPECT_TRUE(wait_until([&] {
+    for (auto& n : c.nodes) {
+      if (n->sink().rdelivered().size() != 1) return false;
+    }
+    return true;
+  }));
+  for (auto& n : c.nodes) {
+    EXPECT_EQ(n->sink().rdelivered()[0].data, "hello");
+  }
+}
+
+TEST(GcIntegration, RbcastManyFromAllSites) {
+  Cluster c(3);
+  c.start();
+  constexpr int kPerSite = 5;
+  for (int i = 0; i < kPerSite; ++i) {
+    for (auto& n : c.nodes) n->rbcast("m" + std::to_string(i));
+  }
+  EXPECT_TRUE(wait_until([&] {
+    for (auto& n : c.nodes) {
+      if (n->sink().rdelivered().size() != 3 * kPerSite) return false;
+    }
+    return true;
+  }));
+}
+
+TEST(GcIntegration, AbcastDeliversInTotalOrder) {
+  Cluster c(3);
+  c.start();
+  constexpr int kPerSite = 4;
+  for (int i = 0; i < kPerSite; ++i) {
+    for (auto& n : c.nodes) n->abcast("a" + std::to_string(i));
+  }
+  ASSERT_TRUE(wait_until([&] {
+    for (auto& n : c.nodes) {
+      if (n->sink().adelivered().size() != 3 * kPerSite) return false;
+    }
+    return true;
+  })) << "not all abcasts delivered";
+
+  const auto reference = c[0].sink().adelivered();
+  for (auto& n : c.nodes) {
+    const auto got = n->sink().adelivered();
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, reference[i].id) << "total order diverged at position " << i;
+    }
+  }
+}
+
+TEST(GcIntegration, AbcastSurvivesLossyLinks) {
+  Cluster c(3, calm_opts(),
+            LinkOptions{.base_latency = std::chrono::microseconds(100),
+                        .drop_probability = 0.05},
+            /*seed=*/99);
+  c.start();
+  for (int i = 0; i < 3; ++i) c[0].abcast("x" + std::to_string(i));
+  EXPECT_TRUE(wait_until(
+      [&] {
+        for (auto& n : c.nodes) {
+          if (n->sink().adelivered().size() != 3) return false;
+        }
+        return true;
+      },
+      std::chrono::milliseconds(30000)))
+      << "abcast did not converge under 5% loss";
+}
+
+TEST(GcIntegration, JoinInstallsConsistentViews) {
+  Cluster c(4);
+  c.start(3);  // node 3 starts outside the view
+  c[0].request_join(c[3].id());
+  EXPECT_TRUE(wait_until([&] {
+    for (auto& n : c.nodes) {
+      if (n->membership().view_snapshot().size() != 4) return false;
+    }
+    return true;
+  }));
+  for (auto& n : c.nodes) {
+    EXPECT_TRUE(n->membership().view_snapshot().contains(c[3].id()));
+  }
+  // The joined site now participates in broadcasts.
+  c[1].rbcast("after-join");
+  EXPECT_TRUE(wait_until([&] { return c[3].sink().rdelivered().size() == 1; }));
+}
+
+TEST(GcIntegration, LeaveShrinksView) {
+  Cluster c(3);
+  c.start();
+  c[0].request_leave(c[2].id());
+  EXPECT_TRUE(wait_until([&] {
+    return c[0].membership().view_snapshot().size() == 2 &&
+           c[1].membership().view_snapshot().size() == 2;
+  }));
+  EXPECT_FALSE(c[0].membership().view_snapshot().contains(c[2].id()));
+}
+
+TEST(GcIntegration, ViewHistoryConsistentAcrossMembers) {
+  Cluster c(4);
+  c.start(3);
+  c[0].request_join(c[3].id());
+  ASSERT_TRUE(wait_until([&] {
+    return c[0].membership().view_snapshot().size() == 4 &&
+           c[1].membership().view_snapshot().size() == 4 &&
+           c[2].membership().view_snapshot().size() == 4;
+  }));
+  c[1].request_leave(c[2].id());
+  ASSERT_TRUE(wait_until([&] {
+    return c[0].membership().view_snapshot().size() == 3 &&
+           c[1].membership().view_snapshot().size() == 3;
+  }));
+  // All old members saw the same sequence of views (ids 1, 2, 3).
+  const auto h0 = c[0].membership().installed_views();
+  const auto h1 = c[1].membership().installed_views();
+  ASSERT_GE(h0.size(), 3u);
+  // Skip the empty pre-start view at history[0].
+  std::vector<std::uint64_t> ids0, ids1;
+  for (const auto& v : h0) {
+    if (v.id() > 0) ids0.push_back(v.id());
+  }
+  for (const auto& v : h1) {
+    if (v.id() > 0) ids1.push_back(v.id());
+  }
+  EXPECT_EQ(ids0, ids1);
+}
+
+TEST(GcIntegration, FailureDetectorSuspectsCrashedSite) {
+  GcOptions opts;
+  opts.heartbeat_interval = std::chrono::microseconds(1000);
+  opts.fd_timeout = std::chrono::microseconds(8000);
+  Cluster c(3, opts);
+  c.start();
+  // Let heartbeats flow first so last_heard is seeded with real evidence.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  c[2].crash();
+  EXPECT_TRUE(wait_until([&] { return c[0].fd().is_suspected(c[2].id()); }));
+  EXPECT_TRUE(wait_until([&] { return c[1].fd().is_suspected(c[2].id()); }));
+  EXPECT_FALSE(c[0].fd().is_suspected(c[1].id()));
+}
+
+TEST(GcIntegration, AbcastSurvivesNonCoordinatorCrash) {
+  GcOptions opts;
+  opts.heartbeat_interval = std::chrono::microseconds(1000);
+  opts.fd_timeout = std::chrono::microseconds(8000);
+  Cluster c(3, opts);
+  c.start();
+  // Crash the last member: the coordinator of instance 1 (member_at(1)) is
+  // nodes[1]; crash nodes[2], a plain acceptor — majority {0,1} remains.
+  c[2].crash();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  c[0].abcast("post-crash");
+  EXPECT_TRUE(wait_until(
+      [&] {
+        return c[0].sink().adelivered().size() == 1 && c[1].sink().adelivered().size() == 1;
+      },
+      std::chrono::milliseconds(30000)))
+      << "abcast did not decide despite a live majority";
+}
+
+TEST(GcIntegration, RelCommRetransmitsThroughLoss) {
+  GcOptions opts;
+  opts.retransmit_interval = std::chrono::microseconds(1000);
+  opts.retransmit_timeout = std::chrono::microseconds(1500);
+  Cluster c(2, opts,
+            LinkOptions{.base_latency = std::chrono::microseconds(50),
+                        .drop_probability = 0.4},
+            /*seed=*/1234);
+  c.start();
+  for (int i = 0; i < 5; ++i) c[0].rbcast("r" + std::to_string(i));
+  EXPECT_TRUE(wait_until(
+      [&] { return c[1].sink().rdelivered().size() == 5; },
+      std::chrono::milliseconds(30000)))
+      << "reliable delivery failed under 40% loss; retransmissions="
+      << c[0].rel_comm().retransmissions();
+  EXPECT_GT(c[0].rel_comm().retransmissions() + c[1].rel_comm().retransmissions(), 0u);
+}
+
+// The Section 3 experiment in miniature. A new site joins while a member
+// floods broadcasts. Under an isolation-preserving policy every message
+// broadcast *after* the join is installed reaches the new site. Under the
+// unsynchronised baseline (with per-microprotocol manual locks — the
+// Cactus-style discipline), the widened view-change window lets RelCast
+// address the new view while RelComm still filters with the old one, and
+// messages are silently discarded.
+// Returns the total number of messages RelComm silently discarded because
+// its (possibly stale) view did not contain the target — the paper's exact
+// failure mode ("the message will be silently discarded since RelComm does
+// not know about s"). Returns -1 if the join never completed.
+std::int64_t discarded_in_race(CCPolicy policy, bool manual_locks,
+                               std::chrono::microseconds window) {
+  GcOptions opts;
+  opts.policy = policy;
+  opts.manual_locks = manual_locks;
+  opts.view_change_delay = window;
+  Cluster c(4, opts);
+  c.start(3);
+
+  c[0].request_join(c[3].id());
+  // Flood rbcasts from node 1 while the view change propagates; each one
+  // that runs inside the race window meets RelCast(new view) +
+  // RelComm(old view) under the unsynchronised baseline.
+  for (int i = 0; i < 40; ++i) {
+    c[1].rbcast("flood" + std::to_string(i));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  if (!wait_until([&] { return c[3].membership().view_snapshot().size() == 4; })) return -1;
+  // Let in-flight floods settle, then stop the periodic timers so the
+  // nodes can actually drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (auto& n : c.nodes) n->stop_timers();
+  for (auto& n : c.nodes) n->drain();
+  std::int64_t discarded = 0;
+  for (auto& n : c.nodes) {
+    discarded += static_cast<std::int64_t>(n->rel_comm().discarded_out_of_view());
+  }
+  return discarded;
+}
+
+TEST(GcIntegration, ViewChangeRaceLosesMessagesOnlyWithoutIsolation) {
+  // Under an isolation-preserving policy every computation sees RelCast
+  // and RelComm with *consistent* views, so RelComm never drops a message
+  // RelCast addressed: zero out-of-view discards. Under the Cactus-style
+  // baseline (free interleaving + per-microprotocol manual locks) the
+  // widened window makes discards overwhelmingly likely; scheduling noise
+  // means an occasional lucky run, so it is retried.
+  const auto lost_isolated =
+      discarded_in_race(CCPolicy::kVCABasic, false, std::chrono::microseconds(2000));
+  ASSERT_GE(lost_isolated, 0) << "join never completed under VCAbasic";
+  EXPECT_EQ(lost_isolated, 0) << "VCAbasic let RelComm see a stale view";
+
+  std::int64_t lost_unsync = 0;
+  for (int attempt = 0; attempt < 5 && lost_unsync <= 0; ++attempt) {
+    lost_unsync = discarded_in_race(CCPolicy::kUnsync, true, std::chrono::microseconds(2000));
+  }
+  EXPECT_GT(lost_unsync, 0)
+      << "expected the unsynchronised baseline to discard messages in the race window";
+}
+
+TEST(GcIntegration, NodeTracesAreIsolatedUnderVCABasic) {
+  GcOptions opts = calm_opts();
+  opts.record_trace = true;
+  Cluster c(3, opts);
+  c.start();
+  for (int i = 0; i < 3; ++i) c[0].abcast("t" + std::to_string(i));
+  ASSERT_TRUE(wait_until([&] {
+    for (auto& n : c.nodes) {
+      if (n->sink().adelivered().size() != 3) return false;
+    }
+    return true;
+  }));
+  for (auto& n : c.nodes) n->stop_timers();
+  for (auto& n : c.nodes) {
+    n->drain();
+    auto report = check_isolation(n->runtime().trace()->snapshot());
+    EXPECT_TRUE(report.isolated) << "site " << n->id().value() << ": " << report.summary();
+  }
+}
+
+TEST(GcIntegration, SerialPolicyAlsoWorksEndToEnd) {
+  GcOptions opts = calm_opts();
+  opts.policy = CCPolicy::kSerial;
+  Cluster c(3, opts);
+  c.start();
+  c[0].abcast("serial-1");
+  EXPECT_TRUE(wait_until([&] {
+    for (auto& n : c.nodes) {
+      if (n->sink().adelivered().size() != 1) return false;
+    }
+    return true;
+  }));
+}
+
+TEST(GcIntegration, VCABoundPolicyAlsoWorksEndToEnd) {
+  GcOptions opts = calm_opts();
+  opts.policy = CCPolicy::kVCABound;
+  Cluster c(3, opts);
+  c.start();
+  c[0].abcast("bound-1");
+  EXPECT_TRUE(wait_until([&] {
+    for (auto& n : c.nodes) {
+      if (n->sink().adelivered().size() != 1) return false;
+    }
+    return true;
+  }));
+}
+
+TEST(GcIntegration, SerializedWirePathWorksEndToEnd) {
+  // Full marshalling: every message crosses the network as bytes through
+  // net/codec and is decoded on delivery — abcast still totally orders.
+  GcOptions opts = calm_opts();
+  opts.serialize_wire = true;
+  Cluster c(3, opts);
+  c.start();
+  for (int i = 0; i < 3; ++i) c[0].abcast("wire" + std::to_string(i));
+  c[1].rbcast("plain");
+  EXPECT_TRUE(wait_until([&] {
+    for (auto& n : c.nodes) {
+      if (n->sink().adelivered().size() != 3) return false;
+      if (n->sink().rdelivered().size() != 1) return false;
+    }
+    return true;
+  }));
+  const auto ref = c[0].sink().adelivered();
+  for (auto& n : c.nodes) {
+    const auto got = n->sink().adelivered();
+    for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i].id, ref[i].id);
+  }
+}
+
+TEST(GcIntegration, SerializedJoinCarriesViewInstall) {
+  GcOptions opts = calm_opts();
+  opts.serialize_wire = true;
+  Cluster c(4, opts);
+  c.start(3);
+  c[0].request_join(c[3].id());
+  EXPECT_TRUE(wait_until([&] {
+    return c[3].membership().view_snapshot().size() == 4;
+  })) << "ViewInstall did not survive the marshalling path";
+}
+
+TEST(GcIntegration, VCARouteIsRejectedWithClearError) {
+  GcOptions opts;
+  opts.policy = CCPolicy::kVCARoute;
+  SimNetwork net;
+  GroupNode node(net, opts);
+  EXPECT_THROW(node.start(View(1, {node.id()})), ConfigError);
+}
+
+}  // namespace
+}  // namespace samoa::gc

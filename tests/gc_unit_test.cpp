@@ -1,0 +1,99 @@
+// Unit tests for the group-communication building blocks that don't need a
+// network: views, message ids, the membership op codec, wire kinds.
+#include <gtest/gtest.h>
+
+#include "gc/membership.hpp"
+#include "gc/view.hpp"
+#include "gc/wire.hpp"
+
+namespace samoa::gc {
+namespace {
+
+TEST(View, MembersSortedAndDeduped) {
+  View v(1, {SiteId{3}, SiteId{1}, SiteId{3}, SiteId{2}});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.members()[0], SiteId{1});
+  EXPECT_EQ(v.members()[2], SiteId{3});
+}
+
+TEST(View, ContainsAndMajority) {
+  View v(1, {SiteId{0}, SiteId{1}, SiteId{2}});
+  EXPECT_TRUE(v.contains(SiteId{1}));
+  EXPECT_FALSE(v.contains(SiteId{9}));
+  EXPECT_EQ(v.majority(), 2u);
+  View v5(1, {SiteId{0}, SiteId{1}, SiteId{2}, SiteId{3}, SiteId{4}});
+  EXPECT_EQ(v5.majority(), 3u);
+}
+
+TEST(View, WithAndWithoutBumpId) {
+  View v(1, {SiteId{0}, SiteId{1}});
+  View plus = v.with(SiteId{2});
+  EXPECT_EQ(plus.id(), 2u);
+  EXPECT_TRUE(plus.contains(SiteId{2}));
+  View minus = plus.without(SiteId{0});
+  EXPECT_EQ(minus.id(), 3u);
+  EXPECT_FALSE(minus.contains(SiteId{0}));
+  EXPECT_EQ(minus.size(), 2u);
+}
+
+TEST(View, MemberAtWrapsAround) {
+  View v(1, {SiteId{10}, SiteId{20}, SiteId{30}});
+  EXPECT_EQ(v.member_at(0), SiteId{10});
+  EXPECT_EQ(v.member_at(3), SiteId{10});
+  EXPECT_EQ(v.member_at(4), SiteId{20});
+}
+
+TEST(View, DescribeIsHumanReadable) {
+  View v(7, {SiteId{0}, SiteId{2}});
+  EXPECT_EQ(v.describe(), "view#7{0,2}");
+}
+
+TEST(MsgId, OriginRoundTrips) {
+  const MsgId id = make_msg_id(SiteId{5}, 1234);
+  EXPECT_EQ(msg_origin(id), SiteId{5});
+  EXPECT_EQ(id & 0xFFFFFFFFull, 1234u);
+}
+
+TEST(MsgId, DistinctAcrossOrigins) {
+  EXPECT_NE(make_msg_id(SiteId{1}, 7), make_msg_id(SiteId{2}, 7));
+  EXPECT_NE(make_msg_id(SiteId{1}, 7), make_msg_id(SiteId{1}, 8));
+}
+
+TEST(MembershipCodec, RoundTrip) {
+  const auto joined = Membership::encode_op('+', SiteId{42});
+  char op;
+  SiteId site;
+  ASSERT_TRUE(Membership::decode_op(joined, op, site));
+  EXPECT_EQ(op, '+');
+  EXPECT_EQ(site, SiteId{42});
+
+  const auto left = Membership::encode_op('-', SiteId{3});
+  ASSERT_TRUE(Membership::decode_op(left, op, site));
+  EXPECT_EQ(op, '-');
+  EXPECT_EQ(site, SiteId{3});
+}
+
+TEST(MembershipCodec, RejectsOrdinaryPayloads) {
+  char op;
+  SiteId site;
+  EXPECT_FALSE(Membership::decode_op("hello", op, site));
+  EXPECT_FALSE(Membership::decode_op("!view", op, site));
+  EXPECT_FALSE(Membership::decode_op("!viewX3", op, site));
+  EXPECT_FALSE(Membership::decode_op("!view+", op, site));
+  EXPECT_FALSE(Membership::decode_op("", op, site));
+}
+
+TEST(WireKind, NamesAllAlternatives) {
+  EXPECT_STREQ(wire_kind(Wire{RcData{}}), "RcData");
+  EXPECT_STREQ(wire_kind(Wire{RcAck{}}), "RcAck");
+  EXPECT_STREQ(wire_kind(Wire{FdHeartbeat{}}), "FdHeartbeat");
+  EXPECT_STREQ(wire_kind(Wire{CsPrepare{}}), "CsPrepare");
+  EXPECT_STREQ(wire_kind(Wire{CsPromise{}}), "CsPromise");
+  EXPECT_STREQ(wire_kind(Wire{CsAccept{}}), "CsAccept");
+  EXPECT_STREQ(wire_kind(Wire{CsAccepted{}}), "CsAccepted");
+  EXPECT_STREQ(wire_kind(Wire{CsDecide{}}), "CsDecide");
+  EXPECT_STREQ(wire_kind(Wire{ViewInstall{}}), "ViewInstall");
+}
+
+}  // namespace
+}  // namespace samoa::gc

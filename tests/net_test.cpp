@@ -1,0 +1,204 @@
+// Unit tests for the network substrate: SimNetwork (latency, loss,
+// partitions, crashes, detach) and TimerService.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/sim_network.hpp"
+#include "net/timer_service.hpp"
+#include "util/sync.hpp"
+
+namespace samoa::net {
+namespace {
+
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds timeout = std::chrono::milliseconds(5000)) {
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(SimNetwork, DeliversPacketToCallback) {
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(50)});
+  std::atomic<int> got{0};
+  SiteId a = net.add_site([&](const Packet&) {});
+  SiteId b = net.add_site([&](const Packet& p) {
+    EXPECT_EQ(p.from, a);
+    EXPECT_EQ(p.payload.as<int>(), 42);
+    got.fetch_add(1);
+  });
+  net.send(a, b, Message::of(42));
+  EXPECT_TRUE(wait_until([&] { return got.load() == 1; }));
+  EXPECT_EQ(net.stats().delivered.value(), 1u);
+}
+
+TEST(SimNetwork, LatencyIsRespected) {
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(20000)});
+  std::atomic<bool> got{false};
+  SiteId a = net.add_site([](const Packet&) {});
+  SiteId b = net.add_site([&](const Packet&) { got.store(true); });
+  const auto start = Clock::now();
+  net.send(a, b, Message::of(1));
+  EXPECT_TRUE(wait_until([&] { return got.load(); }));
+  EXPECT_GE(Clock::now() - start, std::chrono::microseconds(20000));
+}
+
+TEST(SimNetwork, OrderPreservedOnOneLink) {
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(100)});
+  std::vector<int> received;
+  std::mutex mu;
+  SiteId a = net.add_site([](const Packet&) {});
+  SiteId b = net.add_site([&](const Packet& p) {
+    std::unique_lock lock(mu);
+    received.push_back(p.payload.as<int>());
+  });
+  for (int i = 0; i < 20; ++i) net.send(a, b, Message::of(i));
+  net.drain();
+  std::unique_lock lock(mu);
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(SimNetwork, DropProbabilityLosesPackets) {
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10),
+                             .drop_probability = 0.5},
+                 /*seed=*/7);
+  std::atomic<int> got{0};
+  SiteId a = net.add_site([](const Packet&) {});
+  SiteId b = net.add_site([&](const Packet&) { got.fetch_add(1); });
+  for (int i = 0; i < 200; ++i) net.send(a, b, Message::of(i));
+  net.drain();
+  EXPECT_GT(got.load(), 50);
+  EXPECT_LT(got.load(), 150);
+  EXPECT_EQ(net.stats().dropped.value() + got.load(), 200u);
+}
+
+TEST(SimNetwork, PartitionBlocksBothDirections) {
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)});
+  std::atomic<int> got_a{0}, got_b{0};
+  SiteId a = net.add_site([&](const Packet&) { got_a.fetch_add(1); });
+  SiteId b = net.add_site([&](const Packet&) { got_b.fetch_add(1); });
+  net.set_partitioned(a, b, true);
+  net.send(a, b, Message::of(1));
+  net.send(b, a, Message::of(2));
+  net.drain();
+  EXPECT_EQ(got_a.load() + got_b.load(), 0);
+  net.set_partitioned(a, b, false);
+  net.send(a, b, Message::of(3));
+  net.drain();
+  EXPECT_EQ(got_b.load(), 1);
+}
+
+TEST(SimNetwork, CrashedSiteDropsTraffic) {
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)});
+  std::atomic<int> got{0};
+  SiteId a = net.add_site([](const Packet&) {});
+  SiteId b = net.add_site([&](const Packet&) { got.fetch_add(1); });
+  net.crash(b);
+  EXPECT_TRUE(net.crashed(b));
+  net.send(a, b, Message::of(1));
+  net.drain();
+  EXPECT_EQ(got.load(), 0);
+}
+
+TEST(SimNetwork, PerLinkOverride) {
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)});
+  std::atomic<int> got{0};
+  SiteId a = net.add_site([](const Packet&) {});
+  SiteId b = net.add_site([&](const Packet&) { got.fetch_add(1); });
+  net.set_link(a, b, LinkOptions{.base_latency = std::chrono::microseconds(10),
+                                 .drop_probability = 1.0});
+  net.send(a, b, Message::of(1));
+  net.drain();
+  EXPECT_EQ(got.load(), 0);
+  net.set_link(a, b, LinkOptions{.base_latency = std::chrono::microseconds(10)});
+  net.send(a, b, Message::of(2));
+  net.drain();
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(SimNetwork, UnknownDestinationCountsAsDrop) {
+  SimNetwork net;
+  SiteId a = net.add_site([](const Packet&) {});
+  net.send(a, SiteId{99}, Message::of(1));
+  net.drain();
+  EXPECT_EQ(net.stats().dropped.value(), 1u);
+}
+
+TEST(SimNetwork, DetachStopsCallbacksSafely) {
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(50)});
+  std::atomic<int> got{0};
+  SiteId a = net.add_site([](const Packet&) {});
+  SiteId b = net.add_site([&](const Packet&) { got.fetch_add(1); });
+  for (int i = 0; i < 10; ++i) net.send(a, b, Message::of(i));
+  net.detach(b);  // returns only when no callback for b is running
+  const int at_detach = got.load();
+  net.drain();
+  EXPECT_EQ(got.load(), at_detach);  // nothing delivered after detach returned
+}
+
+TEST(TimerService, OneShotFires) {
+  TimerService timers;
+  OneShotEvent fired;
+  timers.schedule(std::chrono::microseconds(1000), [&] { fired.set(); });
+  EXPECT_TRUE(fired.wait_for(std::chrono::milliseconds(5000)));
+  EXPECT_EQ(timers.fired_count(), 1u);
+}
+
+TEST(TimerService, FiresInDeadlineOrder) {
+  TimerService timers;
+  std::vector<int> order;
+  std::mutex mu;
+  WaitGroup wg;
+  wg.add(2);
+  timers.schedule(std::chrono::microseconds(40000), [&] {
+    std::unique_lock lock(mu);
+    order.push_back(2);
+    wg.done();
+  });
+  timers.schedule(std::chrono::microseconds(2000), [&] {
+    std::unique_lock lock(mu);
+    order.push_back(1);
+    wg.done();
+  });
+  wg.wait();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TimerService, CancelPreventsFiring) {
+  TimerService timers;
+  std::atomic<bool> fired{false};
+  auto id = timers.schedule(std::chrono::microseconds(50000), [&] { fired.store(true); });
+  EXPECT_TRUE(timers.cancel(id));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(fired.load());
+  EXPECT_FALSE(timers.cancel(id));  // already gone
+}
+
+TEST(TimerService, PeriodicFiresRepeatedly) {
+  TimerService timers;
+  std::atomic<int> count{0};
+  auto id = timers.schedule_periodic(std::chrono::microseconds(2000), [&] { count.fetch_add(1); });
+  EXPECT_TRUE(wait_until([&] { return count.load() >= 3; }));
+  timers.cancel(id);
+  const int at_cancel = count.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_LE(count.load(), at_cancel + 1);  // at most one in-flight firing
+}
+
+TEST(TimerService, CancelAllStopsEverything) {
+  TimerService timers;
+  std::atomic<int> count{0};
+  timers.schedule_periodic(std::chrono::microseconds(1000), [&] { count.fetch_add(1); });
+  timers.schedule(std::chrono::microseconds(1000), [&] { count.fetch_add(1); });
+  timers.cancel_all();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(count.load(), 0);
+}
+
+}  // namespace
+}  // namespace samoa::net

@@ -1,0 +1,159 @@
+// Tests for the fixed-sequencer atomic broadcast: total order, order
+// announcements, interop invariants, and sequencer takeover on eviction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "gc/group_node.hpp"
+
+namespace samoa::gc {
+namespace {
+
+using net::LinkOptions;
+using net::SimNetwork;
+
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds timeout = std::chrono::milliseconds(20000)) {
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+struct SeqCluster {
+  SimNetwork net;
+  std::vector<std::unique_ptr<GroupNode>> nodes;
+
+  explicit SeqCluster(int n, GcOptions opts = make_opts(), std::uint64_t seed = 31)
+      : net(LinkOptions{.base_latency = std::chrono::microseconds(100)}, seed) {
+    for (int i = 0; i < n; ++i) nodes.push_back(std::make_unique<GroupNode>(net, opts));
+    std::vector<SiteId> members;
+    for (auto& node : nodes) members.push_back(node->id());
+    for (auto& node : nodes) node->start(View(1, members));
+  }
+
+  static GcOptions make_opts() {
+    GcOptions o;
+    o.abcast_impl = ABcastImpl::kSequencer;
+    // Calm periodic timers so the suite is robust under sanitizer
+    // slowdowns (the defaults generate 2ms-period background load).
+    o.heartbeat_interval = std::chrono::microseconds(20'000);
+    o.fd_timeout = std::chrono::microseconds(200'000);
+    o.cs_retry_interval = std::chrono::microseconds(50'000);
+    o.cs_retry_timeout = std::chrono::microseconds(100'000);
+    return o;
+  }
+
+  GroupNode& operator[](std::size_t i) { return *nodes[i]; }
+};
+
+TEST(SeqOrderCodec, RoundTrip) {
+  const MsgId id = make_msg_id(SiteId{4}, 77);
+  const auto data = SeqABcast::encode_order(id, 42);
+  EXPECT_TRUE(SeqABcast::is_order_msg(data));
+  MsgId got_id;
+  std::uint64_t got_seq;
+  ASSERT_TRUE(SeqABcast::decode_order(data, got_id, got_seq));
+  EXPECT_EQ(got_id, id);
+  EXPECT_EQ(got_seq, 42u);
+  EXPECT_FALSE(SeqABcast::is_order_msg("plain"));
+  MsgId dummy_id;
+  std::uint64_t dummy_seq;
+  EXPECT_FALSE(SeqABcast::decode_order("plain", dummy_id, dummy_seq));
+}
+
+TEST(SeqABcastTest, TotalOrderAcrossSites) {
+  SeqCluster c(3);
+  constexpr int kPerSite = 4;
+  for (int i = 0; i < kPerSite; ++i) {
+    for (auto& n : c.nodes) n->abcast("s" + std::to_string(i));
+  }
+  ASSERT_TRUE(wait_until([&] {
+    for (auto& n : c.nodes) {
+      if (n->sink().adelivered().size() != 3 * kPerSite) return false;
+    }
+    return true;
+  })) << "sequencer abcast did not converge";
+  const auto ref = c[0].sink().adelivered();
+  for (auto& n : c.nodes) {
+    const auto got = n->sink().adelivered();
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, ref[i].id) << "sequencer total order diverged at " << i;
+    }
+  }
+  // Only the lowest-id member sequenced anything.
+  EXPECT_TRUE(c[0].seq_ab().is_sequencer());
+  EXPECT_EQ(c[0].seq_ab().sequenced(), 3u * kPerSite);
+  EXPECT_EQ(c[1].seq_ab().sequenced(), 0u);
+}
+
+TEST(SeqABcastTest, OrderAnnouncementsInvisibleToApp) {
+  SeqCluster c(3);
+  c[1].abcast("only-atomic");
+  c[1].rbcast("only-plain");
+  ASSERT_TRUE(wait_until([&] {
+    return c[2].sink().adelivered().size() == 1 && c[2].sink().rdelivered().size() == 1;
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(c[2].sink().rdelivered().size(), 1u)
+      << "order announcements leaked into the application's rdeliver list";
+  EXPECT_EQ(c[2].sink().rdelivered()[0].data, "only-plain");
+}
+
+TEST(SeqABcastTest, SequencerEvictionTriggersTakeover) {
+  SeqCluster c(3);
+  // Crash the sequencer (node 0) and evict it through membership; node 1
+  // must take over and order the backlog.
+  c[0].crash();
+  c[1].request_leave(c[0].id());
+  ASSERT_TRUE(wait_until([&] {
+    return c[1].membership().view_snapshot().size() == 2 &&
+           c[2].membership().view_snapshot().size() == 2;
+  })) << "eviction of the crashed sequencer never installed";
+  // Hmm — the eviction itself needs ordering, which needs... the eviction
+  // travels through the *membership* abcast path, which in this
+  // configuration is the sequencer impl too. The crash happens before the
+  // leave is submitted, so the leave is ordered by... node 0 is crashed.
+  // The takeover bootstrap is the view change; see the note in
+  // seq_abcast.hpp. This test therefore asserts the end state only after
+  // the view installs — if the design were broken, the wait above times
+  // out.
+  c[1].abcast("after-takeover");
+  EXPECT_TRUE(wait_until([&] {
+    return c[1].sink().adelivered().size() == 1 && c[2].sink().adelivered().size() == 1;
+  })) << "no total-order delivery after sequencer takeover";
+  EXPECT_TRUE(c[1].seq_ab().is_sequencer());
+  for (auto& n : c.nodes) n->stop_timers();
+}
+
+TEST(SeqABcastTest, SurvivesLossyLinks) {
+  GcOptions opts = SeqCluster::make_opts();
+  opts.retransmit_interval = std::chrono::microseconds(1000);
+  opts.retransmit_timeout = std::chrono::microseconds(1500);
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(100),
+                             .drop_probability = 0.1},
+                 /*seed=*/77);
+  std::vector<std::unique_ptr<GroupNode>> nodes;
+  for (int i = 0; i < 3; ++i) nodes.push_back(std::make_unique<GroupNode>(net, opts));
+  std::vector<SiteId> members;
+  for (auto& node : nodes) members.push_back(node->id());
+  for (auto& node : nodes) node->start(View(1, members));
+  for (int i = 0; i < 4; ++i) nodes[1]->abcast("lossy" + std::to_string(i));
+  EXPECT_TRUE(wait_until(
+      [&] {
+        for (auto& n : nodes) {
+          if (n->sink().adelivered().size() != 4) return false;
+        }
+        return true;
+      },
+      std::chrono::milliseconds(30000)))
+      << "sequencer abcast did not converge under loss";
+  for (auto& n : nodes) n->stop_timers();
+}
+
+}  // namespace
+}  // namespace samoa::gc
