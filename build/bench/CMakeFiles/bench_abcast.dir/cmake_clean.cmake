@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abcast.dir/bench_abcast.cpp.o"
+  "CMakeFiles/bench_abcast.dir/bench_abcast.cpp.o.d"
+  "bench_abcast"
+  "bench_abcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_route.dir/bench_route.cpp.o"
+  "CMakeFiles/bench_route.dir/bench_route.cpp.o.d"
+  "bench_route"
+  "bench_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

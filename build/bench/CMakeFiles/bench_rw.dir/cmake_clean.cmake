@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rw.dir/bench_rw.cpp.o"
+  "CMakeFiles/bench_rw.dir/bench_rw.cpp.o.d"
+  "bench_rw"
+  "bench_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

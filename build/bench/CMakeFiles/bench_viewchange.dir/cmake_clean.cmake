@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_viewchange.dir/bench_viewchange.cpp.o"
+  "CMakeFiles/bench_viewchange.dir/bench_viewchange.cpp.o.d"
+  "bench_viewchange"
+  "bench_viewchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_viewchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_total_order.dir/abcast_total_order.cpp.o"
+  "CMakeFiles/abcast_total_order.dir/abcast_total_order.cpp.o.d"
+  "abcast_total_order"
+  "abcast_total_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_total_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

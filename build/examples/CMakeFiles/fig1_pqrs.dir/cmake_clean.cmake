@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pqrs.dir/fig1_pqrs.cpp.o"
+  "CMakeFiles/fig1_pqrs.dir/fig1_pqrs.cpp.o.d"
+  "fig1_pqrs"
+  "fig1_pqrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pqrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_broadcast.dir/group_broadcast.cpp.o"
+  "CMakeFiles/group_broadcast.dir/group_broadcast.cpp.o.d"
+  "group_broadcast"
+  "group_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

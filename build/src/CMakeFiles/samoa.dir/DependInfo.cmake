@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/controller.cpp" "src/CMakeFiles/samoa.dir/cc/controller.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/controller.cpp.o.d"
+  "/root/repo/src/cc/routing_graph.cpp" "src/CMakeFiles/samoa.dir/cc/routing_graph.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/routing_graph.cpp.o.d"
+  "/root/repo/src/cc/serial.cpp" "src/CMakeFiles/samoa.dir/cc/serial.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/serial.cpp.o.d"
+  "/root/repo/src/cc/tso.cpp" "src/CMakeFiles/samoa.dir/cc/tso.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/tso.cpp.o.d"
+  "/root/repo/src/cc/unsync.cpp" "src/CMakeFiles/samoa.dir/cc/unsync.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/unsync.cpp.o.d"
+  "/root/repo/src/cc/vca_basic.cpp" "src/CMakeFiles/samoa.dir/cc/vca_basic.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/vca_basic.cpp.o.d"
+  "/root/repo/src/cc/vca_bound.cpp" "src/CMakeFiles/samoa.dir/cc/vca_bound.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/vca_bound.cpp.o.d"
+  "/root/repo/src/cc/vca_route.cpp" "src/CMakeFiles/samoa.dir/cc/vca_route.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/vca_route.cpp.o.d"
+  "/root/repo/src/cc/vca_rw.cpp" "src/CMakeFiles/samoa.dir/cc/vca_rw.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/vca_rw.cpp.o.d"
+  "/root/repo/src/cc/version_gate.cpp" "src/CMakeFiles/samoa.dir/cc/version_gate.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/cc/version_gate.cpp.o.d"
+  "/root/repo/src/core/computation.cpp" "src/CMakeFiles/samoa.dir/core/computation.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/core/computation.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/CMakeFiles/samoa.dir/core/context.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/core/context.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/CMakeFiles/samoa.dir/core/event.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/core/event.cpp.o.d"
+  "/root/repo/src/core/infer.cpp" "src/CMakeFiles/samoa.dir/core/infer.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/core/infer.cpp.o.d"
+  "/root/repo/src/core/isolation.cpp" "src/CMakeFiles/samoa.dir/core/isolation.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/core/isolation.cpp.o.d"
+  "/root/repo/src/core/microprotocol.cpp" "src/CMakeFiles/samoa.dir/core/microprotocol.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/core/microprotocol.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/CMakeFiles/samoa.dir/core/runtime.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/core/runtime.cpp.o.d"
+  "/root/repo/src/core/stack.cpp" "src/CMakeFiles/samoa.dir/core/stack.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/core/stack.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/CMakeFiles/samoa.dir/core/trace.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/core/trace.cpp.o.d"
+  "/root/repo/src/gc/abcast.cpp" "src/CMakeFiles/samoa.dir/gc/abcast.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/abcast.cpp.o.d"
+  "/root/repo/src/gc/causal_cast.cpp" "src/CMakeFiles/samoa.dir/gc/causal_cast.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/causal_cast.cpp.o.d"
+  "/root/repo/src/gc/consensus.cpp" "src/CMakeFiles/samoa.dir/gc/consensus.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/consensus.cpp.o.d"
+  "/root/repo/src/gc/failure_detector.cpp" "src/CMakeFiles/samoa.dir/gc/failure_detector.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/failure_detector.cpp.o.d"
+  "/root/repo/src/gc/group_node.cpp" "src/CMakeFiles/samoa.dir/gc/group_node.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/group_node.cpp.o.d"
+  "/root/repo/src/gc/membership.cpp" "src/CMakeFiles/samoa.dir/gc/membership.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/membership.cpp.o.d"
+  "/root/repo/src/gc/rel_cast.cpp" "src/CMakeFiles/samoa.dir/gc/rel_cast.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/rel_cast.cpp.o.d"
+  "/root/repo/src/gc/rel_comm.cpp" "src/CMakeFiles/samoa.dir/gc/rel_comm.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/rel_comm.cpp.o.d"
+  "/root/repo/src/gc/seq_abcast.cpp" "src/CMakeFiles/samoa.dir/gc/seq_abcast.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/seq_abcast.cpp.o.d"
+  "/root/repo/src/gc/transport.cpp" "src/CMakeFiles/samoa.dir/gc/transport.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/transport.cpp.o.d"
+  "/root/repo/src/gc/view.cpp" "src/CMakeFiles/samoa.dir/gc/view.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/view.cpp.o.d"
+  "/root/repo/src/gc/wire.cpp" "src/CMakeFiles/samoa.dir/gc/wire.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/gc/wire.cpp.o.d"
+  "/root/repo/src/net/codec.cpp" "src/CMakeFiles/samoa.dir/net/codec.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/net/codec.cpp.o.d"
+  "/root/repo/src/net/sim_network.cpp" "src/CMakeFiles/samoa.dir/net/sim_network.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/net/sim_network.cpp.o.d"
+  "/root/repo/src/net/timer_service.cpp" "src/CMakeFiles/samoa.dir/net/timer_service.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/net/timer_service.cpp.o.d"
+  "/root/repo/src/proto/fig1.cpp" "src/CMakeFiles/samoa.dir/proto/fig1.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/proto/fig1.cpp.o.d"
+  "/root/repo/src/util/ids.cpp" "src/CMakeFiles/samoa.dir/util/ids.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/util/ids.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/samoa.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/samoa.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/sync.cpp" "src/CMakeFiles/samoa.dir/util/sync.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/util/sync.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/samoa.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/verify/checker.cpp" "src/CMakeFiles/samoa.dir/verify/checker.cpp.o" "gcc" "src/CMakeFiles/samoa.dir/verify/checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for samoa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_basic_test.dir/cc_basic_test.cpp.o"
+  "CMakeFiles/cc_basic_test.dir/cc_basic_test.cpp.o.d"
+  "cc_basic_test"
+  "cc_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

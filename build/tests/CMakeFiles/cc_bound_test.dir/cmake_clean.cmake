@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_bound_test.dir/cc_bound_test.cpp.o"
+  "CMakeFiles/cc_bound_test.dir/cc_bound_test.cpp.o.d"
+  "cc_bound_test"
+  "cc_bound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

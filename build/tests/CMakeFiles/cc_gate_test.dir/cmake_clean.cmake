@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_gate_test.dir/cc_gate_test.cpp.o"
+  "CMakeFiles/cc_gate_test.dir/cc_gate_test.cpp.o.d"
+  "cc_gate_test"
+  "cc_gate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

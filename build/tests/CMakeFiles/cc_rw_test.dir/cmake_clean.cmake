@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_rw_test.dir/cc_rw_test.cpp.o"
+  "CMakeFiles/cc_rw_test.dir/cc_rw_test.cpp.o.d"
+  "cc_rw_test"
+  "cc_rw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_rw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

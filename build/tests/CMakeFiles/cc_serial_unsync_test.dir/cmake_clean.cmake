@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_serial_unsync_test.dir/cc_serial_unsync_test.cpp.o"
+  "CMakeFiles/cc_serial_unsync_test.dir/cc_serial_unsync_test.cpp.o.d"
+  "cc_serial_unsync_test"
+  "cc_serial_unsync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_serial_unsync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

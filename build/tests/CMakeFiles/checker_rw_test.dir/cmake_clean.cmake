@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_rw_test.dir/checker_rw_test.cpp.o"
+  "CMakeFiles/checker_rw_test.dir/checker_rw_test.cpp.o.d"
+  "checker_rw_test"
+  "checker_rw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_rw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_chaos_test.dir/gc_chaos_test.cpp.o"
+  "CMakeFiles/gc_chaos_test.dir/gc_chaos_test.cpp.o.d"
+  "gc_chaos_test"
+  "gc_chaos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

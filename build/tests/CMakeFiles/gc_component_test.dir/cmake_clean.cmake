@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_component_test.dir/gc_component_test.cpp.o"
+  "CMakeFiles/gc_component_test.dir/gc_component_test.cpp.o.d"
+  "gc_component_test"
+  "gc_component_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

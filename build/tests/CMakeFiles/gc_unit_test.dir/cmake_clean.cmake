@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_unit_test.dir/gc_unit_test.cpp.o"
+  "CMakeFiles/gc_unit_test.dir/gc_unit_test.cpp.o.d"
+  "gc_unit_test"
+  "gc_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

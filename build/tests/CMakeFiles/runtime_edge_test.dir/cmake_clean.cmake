@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_edge_test.dir/runtime_edge_test.cpp.o"
+  "CMakeFiles/runtime_edge_test.dir/runtime_edge_test.cpp.o.d"
+  "runtime_edge_test"
+  "runtime_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_abcast_test.dir/seq_abcast_test.cpp.o"
+  "CMakeFiles/seq_abcast_test.dir/seq_abcast_test.cpp.o.d"
+  "seq_abcast_test"
+  "seq_abcast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_abcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
