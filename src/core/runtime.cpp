@@ -31,6 +31,10 @@ ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Con
     std::unique_lock lock(inflight_mu_);
     inflight_.emplace(id, comp);
   }
+  // Pin virtual time for the lifetime of the computation: the simulated
+  // clock must not advance (and no further event may dispatch) until the
+  // work this event triggered has fully completed.
+  if (opts_.clock != nullptr) opts_.clock->pin();
   stats_.spawned.add();
   if (trace_) trace_->record(TracePhase::kSpawn, id, MicroprotocolId{}, HandlerId{});
 
@@ -84,9 +88,12 @@ void Runtime::record_computation_done(ComputationId id) {
 
 void Runtime::on_computation_done(ComputationId id) {
   stats_.completed.add();
-  std::unique_lock lock(inflight_mu_);
-  inflight_.erase(id);
-  inflight_cv_.notify_all();
+  {
+    std::unique_lock lock(inflight_mu_);
+    inflight_.erase(id);
+    inflight_cv_.notify_all();
+  }
+  if (opts_.clock != nullptr) opts_.clock->unpin();
 }
 
 void Runtime::drain() {

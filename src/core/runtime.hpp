@@ -21,6 +21,7 @@
 #include "core/context.hpp"
 #include "core/stack.hpp"
 #include "core/trace.hpp"
+#include "time/clock.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -32,6 +33,10 @@ struct RuntimeOptions {
   bool record_trace = false;
   std::size_t min_threads = 2;
   std::size_t max_threads = 1024;
+  /// Time base. Null means the process wall clock. Under a
+  /// time::VirtualClock the runtime holds one activity pin per in-flight
+  /// computation, so virtual time stands still while computations run.
+  time::ClockSource* clock = nullptr;
 };
 
 class Runtime {

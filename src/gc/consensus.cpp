@@ -19,7 +19,7 @@ Consensus::Consensus(const GcOptions& opts, const GcEvents& events, SiteId self,
       if (inst.decided || inst.have_proposal) return;
       inst.have_proposal = true;
       inst.proposal = req.value;
-      inst.last_activity = Clock::now();
+      inst.last_activity = options().now();
       try_coordinate(out, req.instance);
     }
     out.flush(ctx);
@@ -72,7 +72,7 @@ Consensus::Consensus(const GcOptions& opts, const GcEvents& events, SiteId self,
     Outbox out;
     {
       auto lock = guard();
-      const auto now = Clock::now();
+      const auto now = options().now();
       for (auto& [i, inst] : instances_) {
         if (inst.decided || !inst.have_proposal) continue;
         if (now - inst.last_activity < options().cs_retry_timeout) continue;
@@ -113,14 +113,14 @@ void Consensus::try_coordinate(Outbox& out, std::uint64_t i) {
   inst.phase2 = false;
   inst.promises.clear();
   inst.accepted_from.clear();
-  inst.last_activity = Clock::now();
+  inst.last_activity = options().now();
   rounds_started_.add();
   broadcast(out, Wire{CsPrepare{i, inst.my_round}});
 }
 
 void Consensus::handle_prepare(Outbox& out, SiteId from, const CsPrepare& p) {
   Instance& inst = instance(p.instance);
-  inst.last_activity = Clock::now();
+  inst.last_activity = options().now();
   if (inst.decided) {
     // Help a lagging coordinator: re-send the decision instead of playing
     // another round.
@@ -149,13 +149,13 @@ void Consensus::handle_promise(Outbox& out, SiteId from, const CsPromise& p) {
   }
   inst.chosen = best != nullptr ? *best->accepted_value : inst.proposal;
   inst.phase2 = true;
-  inst.last_activity = Clock::now();
+  inst.last_activity = options().now();
   broadcast(out, Wire{CsAccept{p.instance, inst.my_round, inst.chosen}});
 }
 
 void Consensus::handle_accept(Outbox& out, SiteId from, const CsAccept& a) {
   Instance& inst = instance(a.instance);
-  inst.last_activity = Clock::now();
+  inst.last_activity = options().now();
   if (inst.decided) {
     to(out, from, Wire{CsDecide{a.instance, inst.accepted_value.value_or(ConsensusValue{})}});
     return;

@@ -11,7 +11,7 @@ FailureDetector::FailureDetector(const GcOptions& opts, const GcEvents& events, 
     auto lock = guard();
     const auto& fw = m.as<FromWire>();
     std::unique_lock snap(snap_mu_);
-    last_heard_[fw.from] = Clock::now();
+    last_heard_[fw.from] = options().now();
     suspected_.erase(fw.from);  // eventually-perfect: revoke on new evidence
   });
 
@@ -34,7 +34,7 @@ FailureDetector::FailureDetector(const GcOptions& opts, const GcEvents& events, 
     Outbox out;
     {
       auto lock = guard();
-      const auto now = Clock::now();
+      const auto now = options().now();
       std::unique_lock snap(snap_mu_);
       for (SiteId site : view_.members()) {
         if (site == self_) continue;

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "cc/controller.hpp"
+#include "time/clock.hpp"
 
 namespace samoa::gc {
 
@@ -57,6 +58,17 @@ struct GcOptions {
   /// the full path a real UDP transport would take. Off by default (the
   /// in-process simulator can carry typed values directly).
   bool serialize_wire = false;
+
+  /// Time base for the node: timer deadlines, retransmit/failure-detector
+  /// timeouts and consensus retry clocks all read this source. Null means
+  /// the process wall clock; point it (and the SimNetwork) at one shared
+  /// time::VirtualClock for deterministic simulation.
+  time::ClockSource* clock = nullptr;
+
+  time::ClockSource& clock_source() const {
+    return clock != nullptr ? *clock : time::wall_clock();
+  }
+  Clock::time_point now() const { return clock_source().now(); }
 };
 
 }  // namespace samoa::gc

@@ -48,7 +48,8 @@ std::vector<std::string> DeliverSink::cdelivered() {
   return cdelivered_;
 }
 
-GroupNode::GroupNode(net::SimNetwork& net, GcOptions opts) : net_(net), opts_(std::move(opts)) {
+GroupNode::GroupNode(net::SimNetwork& net, GcOptions opts)
+    : net_(net), opts_(std::move(opts)), timers_(opts_.clock) {
   self_ = net_.add_site([this](const net::Packet& packet) { on_packet(packet); });
 
   const View empty;
@@ -68,6 +69,7 @@ GroupNode::GroupNode(net::SimNetwork& net, GcOptions opts) : net_(net), opts_(st
   RuntimeOptions rt_opts;
   rt_opts.policy = opts_.policy;
   rt_opts.record_trace = opts_.record_trace;
+  rt_opts.clock = opts_.clock;
   runtime_ = std::make_unique<Runtime>(stack_, rt_opts);
 }
 

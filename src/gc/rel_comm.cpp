@@ -78,7 +78,7 @@ RelComm::RelComm(const GcOptions& opts, const GcEvents& events, SiteId self, Vie
     Outbox out;
     {
       auto lock = guard();
-      const auto now = Clock::now();
+      const auto now = options().now();
       for (auto bit = backlog_.begin(); bit != backlog_.end();) {
         bit = view_.contains(bit->first) ? std::next(bit) : backlog_.erase(bit);
       }
@@ -117,7 +117,7 @@ RelComm::RelComm(const GcOptions& opts, const GcEvents& events, SiteId self, Vie
 
 void RelComm::dispatch_send(Outbox& out, const AppMessage& m, SiteId target) {
   const std::uint64_t seq = ++out_seq_[target];
-  Pending p{RcData{seq, m}, target, Clock::now()};
+  Pending p{RcData{seq, m}, target, options().now()};
   unacked_.emplace(std::make_pair(target, seq), p);
   unacked_count_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t now_in_flight = ++in_flight_[target];

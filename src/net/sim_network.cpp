@@ -8,8 +8,12 @@ std::uint64_t pack_pair(SiteId a, SiteId b) {
 }
 }  // namespace
 
-SimNetwork::SimNetwork(LinkOptions defaults, std::uint64_t seed)
-    : defaults_(defaults), rng_(seed), delivery_thread_([this] { delivery_loop(); }) {}
+SimNetwork::SimNetwork(LinkOptions defaults, std::uint64_t seed, time::ClockSource* clock)
+    : clock_(clock != nullptr ? *clock : time::wall_clock()),
+      defaults_(defaults),
+      rng_(seed),
+      worker_(clock_),
+      delivery_thread_([this] { delivery_loop(); }) {}
 
 SimNetwork::~SimNetwork() {
   {
@@ -18,6 +22,8 @@ SimNetwork::~SimNetwork() {
     cv_.notify_all();
   }
   delivery_thread_.join();
+  // worker_ deregisters from the clock after the join, so the scheduler
+  // never waits on a thread that is gone.
 }
 
 SiteId SimNetwork::add_site(DeliveryFn deliver) {
@@ -38,17 +44,25 @@ void SimNetwork::send(SiteId from, SiteId to, Message payload) {
   const bool blocked = crashed_.contains(from) || crashed_.contains(to) ||
                        partitioned_.contains(pack_pair(from, to));
   const LinkOptions& link = link_for(from, to);
-  if (unknown || blocked || rng_.chance(link.drop_probability)) {
-    stats_.dropped.add();
-    return;
-  }
+  // RNG stream contract: every send consumes the draws its link options
+  // call for (one Bernoulli draw for loss, one bounded draw for jitter),
+  // whether or not the packet is discarded for an unknown destination,
+  // crash or partition. The stream is then a pure function of (seed, link
+  // options, send sequence) and replays stay aligned across fault states.
+  const bool chance_drop = rng_.chance(link.drop_probability);
   auto latency = link.base_latency;
   if (link.jitter.count() > 0) {
     latency += std::chrono::microseconds(
         rng_.next_below(static_cast<std::uint64_t>(link.jitter.count()) + 1));
   }
-  in_flight_.push(InFlight{Clock::now() + latency, next_seq_++, Packet{from, to, std::move(payload)}});
+  if (unknown || blocked || chance_drop) {
+    stats_.dropped.add();
+    return;
+  }
+  in_flight_.push(
+      InFlight{clock_.now() + latency, next_seq_++, Packet{from, to, std::move(payload)}});
   cv_.notify_all();
+  clock_.interrupt();
 }
 
 void SimNetwork::set_link(SiteId from, SiteId to, LinkOptions opts) {
@@ -86,7 +100,11 @@ void SimNetwork::detach(SiteId site) {
 
 void SimNetwork::drain() {
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return in_flight_.empty(); });
+  // A delivery callback runs with mu_ released and may send() new packets
+  // before it returns; `delivering_` stays set for its whole execution, so
+  // waiting on it closes the window in which the queue looks empty while
+  // deliveries are still producing work.
+  cv_.wait(lock, [this] { return in_flight_.empty() && !delivering_.valid(); });
 }
 
 void SimNetwork::delivery_loop() {
@@ -94,13 +112,18 @@ void SimNetwork::delivery_loop() {
   for (;;) {
     if (shutdown_) return;
     if (in_flight_.empty()) {
-      cv_.wait(lock, [this] { return shutdown_ || !in_flight_.empty(); });
+      clock_.wait(worker_.id(), lock, cv_,
+                  [this] { return shutdown_ || !in_flight_.empty(); });
       continue;
     }
     const auto deadline = in_flight_.top().deliver_at;
-    if (Clock::now() < deadline) {
-      cv_.wait_until(lock, deadline);
-      continue;  // re-check: new earlier packet or shutdown may have arrived
+    if (clock_.now() < deadline) {
+      // Re-check on wake: an earlier packet, a cancellation of the head, or
+      // shutdown may have invalidated the registered deadline.
+      clock_.wait_until(worker_.id(), lock, cv_, deadline, [this, deadline] {
+        return shutdown_ || in_flight_.empty() || in_flight_.top().deliver_at != deadline;
+      });
+      continue;
     }
     InFlight item = in_flight_.top();
     in_flight_.pop();
@@ -116,7 +139,9 @@ void SimNetwork::delivery_loop() {
     DeliveryFn deliver = sites_[item.packet.to.value()];
     delivering_ = item.packet.to;
     lock.unlock();
+    clock_.begin_dispatch(worker_.id(), item.deliver_at);
     deliver(item.packet);
+    clock_.end_dispatch();
     lock.lock();
     delivering_ = SiteId{};
     stats_.delivered.add();

@@ -8,9 +8,17 @@
 // group-communication stack, spawns an isolated computation, exactly the
 // external-event path of a real deployment.
 //
-// Determinism: all randomness (jitter, drops) comes from a seeded Rng, so
-// a run is reproducible given (seed, workload timing). Latency is wall-
-// clock based, which is what the overhead experiments need.
+// Time base: all deadlines flow through an injected time::ClockSource.
+// Under the default WallClock, latency is wall-clock based — what the
+// overhead experiments need. Under a time::VirtualClock the network takes
+// part in deterministic simulation: packets deliver in virtual time, one
+// at a time, with zero real sleeps.
+//
+// Determinism: all randomness (jitter, drops) comes from a seeded Rng, and
+// every send consumes the same RNG draws for a given link configuration
+// whatever the crash/partition state, so the stream (and hence a replay)
+// never diverges based on fault state. A run is reproducible given (seed,
+// workload timing); with VirtualClock the timing itself is deterministic.
 #pragma once
 
 #include <chrono>
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "core/event.hpp"
+#include "time/clock.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -46,7 +55,8 @@ class SimNetwork {
  public:
   using DeliveryFn = std::function<void(const Packet&)>;
 
-  explicit SimNetwork(LinkOptions defaults = {}, std::uint64_t seed = 1);
+  explicit SimNetwork(LinkOptions defaults = {}, std::uint64_t seed = 1,
+                      time::ClockSource* clock = nullptr);
   ~SimNetwork();
 
   SimNetwork(const SimNetwork&) = delete;
@@ -76,8 +86,12 @@ class SimNetwork {
   /// afterwards. Implies crash(site).
   void detach(SiteId site);
 
-  /// Block until no packet is in flight.
+  /// Block until no packet is in flight AND no delivery callback is still
+  /// executing. A callback may itself send(); such packets are part of the
+  /// in-flight set drain() waits for.
   void drain();
+
+  time::ClockSource& clock() { return clock_; }
 
   struct Stats {
     Counter sent;
@@ -99,6 +113,7 @@ class SimNetwork {
   void delivery_loop();
   const LinkOptions& link_for(SiteId from, SiteId to) const;
 
+  time::ClockSource& clock_;
   LinkOptions defaults_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -112,6 +127,7 @@ class SimNetwork {
   std::uint64_t next_seq_ = 0;
   bool shutdown_ = false;
   Stats stats_;
+  time::WorkerHandle worker_;  // registered before the thread starts
   std::thread delivery_thread_;
 };
 

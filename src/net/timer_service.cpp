@@ -4,7 +4,10 @@
 
 namespace samoa::net {
 
-TimerService::TimerService() : thread_([this] { loop(); }) {}
+TimerService::TimerService(time::ClockSource* clock)
+    : clock_(clock != nullptr ? *clock : time::wall_clock()),
+      worker_(clock_),
+      thread_([this] { loop(); }) {}
 
 TimerService::~TimerService() {
   {
@@ -18,8 +21,9 @@ TimerService::~TimerService() {
 TimerId TimerService::schedule(std::chrono::microseconds delay, std::function<void()> fn) {
   std::unique_lock lock(mu_);
   const TimerId id = next_id_++;
-  queue_.emplace(Clock::now() + delay, Entry{id, std::chrono::microseconds{0}, std::move(fn)});
+  queue_.emplace(clock_.now() + delay, Entry{id, std::chrono::microseconds{0}, std::move(fn)});
   cv_.notify_all();
+  clock_.interrupt();
   return id;
 }
 
@@ -27,8 +31,9 @@ TimerId TimerService::schedule_periodic(std::chrono::microseconds interval,
                                         std::function<void()> fn) {
   std::unique_lock lock(mu_);
   const TimerId id = next_id_++;
-  queue_.emplace(Clock::now() + interval, Entry{id, interval, std::move(fn)});
+  queue_.emplace(clock_.now() + interval, Entry{id, interval, std::move(fn)});
   cv_.notify_all();
+  clock_.interrupt();
   return id;
 }
 
@@ -40,12 +45,22 @@ bool TimerService::cancel(TimerId id) {
       return true;
     }
   }
+  // Not queued — it may be mid-callback. A periodic timer would otherwise
+  // re-arm after the callback returns, losing the cancellation; flag it so
+  // loop() suppresses the re-arm. A one-shot mid-callback keeps the
+  // "already fired" contract and reports false.
+  if (id != 0 && id == running_id_ && running_interval_.count() > 0) {
+    running_cancelled_ = true;
+    return true;
+  }
   return false;
 }
 
 void TimerService::cancel_all() {
   std::unique_lock lock(mu_);
   queue_.clear();
+  // Also stop any periodic timer currently mid-callback from re-arming.
+  running_cancelled_ = true;
 }
 
 void TimerService::loop() {
@@ -53,28 +68,35 @@ void TimerService::loop() {
   for (;;) {
     if (shutdown_) return;
     if (queue_.empty()) {
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      clock_.wait(worker_.id(), lock, cv_, [this] { return shutdown_ || !queue_.empty(); });
       continue;
     }
     const auto deadline = queue_.begin()->first;
-    if (Clock::now() < deadline) {
-      cv_.wait_until(lock, deadline);
-      continue;  // re-check: earlier timer / cancellation / shutdown
+    if (clock_.now() < deadline) {
+      // Re-check on wake: an earlier timer, a cancellation of the head, or
+      // shutdown may have invalidated the registered deadline.
+      clock_.wait_until(worker_.id(), lock, cv_, deadline, [this, deadline] {
+        return shutdown_ || queue_.empty() || queue_.begin()->first != deadline;
+      });
+      continue;
     }
     Entry entry = std::move(queue_.begin()->second);
     queue_.erase(queue_.begin());
-    if (entry.interval.count() > 0) {
-      // Re-arm before running so cancel() from inside the callback still
-      // finds the periodic entry... except it cannot: the callback runs
-      // unlocked. Re-arm after the run instead, checking shutdown.
-    }
+    running_id_ = entry.id;
+    running_interval_ = entry.interval;
+    running_cancelled_ = false;
     lock.unlock();
-    entry.fn();
+    clock_.begin_dispatch(worker_.id(), deadline);
+    // Count before invoking: a callback that signals completion must not
+    // be observable before the fire it belongs to.
     fired_.add();
+    entry.fn();
+    clock_.end_dispatch();
     lock.lock();
-    if (entry.interval.count() > 0 && !shutdown_) {
-      queue_.emplace(Clock::now() + entry.interval, std::move(entry));
+    if (entry.interval.count() > 0 && !shutdown_ && !running_cancelled_) {
+      queue_.emplace(clock_.now() + entry.interval, std::move(entry));
     }
+    running_id_ = 0;
   }
 }
 

@@ -5,6 +5,12 @@
 // queue; expired callbacks fire on that thread and typically spawn an
 // isolated computation on the owning site's runtime. Supports one-shot and
 // periodic timers with cancellation.
+//
+// All deadlines flow through an injected time::ClockSource. Under the
+// default WallClock behaviour is unchanged; under a time::VirtualClock the
+// service participates in deterministic simulation — callbacks fire in
+// virtual time with zero real sleeps, serialized against every other
+// clock-driven event.
 #pragma once
 
 #include <chrono>
@@ -15,6 +21,7 @@
 #include <mutex>
 #include <thread>
 
+#include "time/clock.hpp"
 #include "util/stats.hpp"
 
 namespace samoa::net {
@@ -23,7 +30,7 @@ using TimerId = std::uint64_t;
 
 class TimerService {
  public:
-  TimerService();
+  explicit TimerService(time::ClockSource* clock = nullptr);
   ~TimerService();
 
   TimerService(const TimerService&) = delete;
@@ -36,13 +43,17 @@ class TimerService {
   TimerId schedule_periodic(std::chrono::microseconds interval, std::function<void()> fn);
 
   /// Cancel a timer; returns false if it already fired (one-shot) or was
-  /// unknown. A periodic timer stops firing after cancel.
+  /// unknown. A periodic timer stops firing after cancel — including when
+  /// the cancel lands while its callback is executing.
   bool cancel(TimerId id);
 
-  /// Cancel everything (used at site shutdown / crash).
+  /// Cancel everything (used at site shutdown / crash). A periodic timer
+  /// mid-callback does not re-arm.
   void cancel_all();
 
   std::uint64_t fired_count() const { return fired_.value(); }
+
+  time::ClockSource& clock() { return clock_; }
 
  private:
   struct Entry {
@@ -53,12 +64,20 @@ class TimerService {
 
   void loop();
 
+  time::ClockSource& clock_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::multimap<Clock::time_point, Entry> queue_;
   TimerId next_id_ = 1;
+  // In-flight dispatch state: the entry currently executing unlocked is no
+  // longer in queue_, so cancel() consults these to stop a periodic timer
+  // from re-arming.
+  TimerId running_id_ = 0;
+  std::chrono::microseconds running_interval_{0};
+  bool running_cancelled_ = false;
   bool shutdown_ = false;
   Counter fired_;
+  time::WorkerHandle worker_;  // registered before the thread starts
   std::thread thread_;
 };
 

@@ -1,0 +1,151 @@
+#include "time/clock.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace samoa::time {
+
+ClockSource& wall_clock() {
+  static WallClock instance;
+  return instance;
+}
+
+Clock::time_point VirtualClock::now() const {
+  std::lock_guard g(mu_);
+  return now_;
+}
+
+int VirtualClock::add_worker() {
+  std::lock_guard g(mu_);
+  ++workers_;
+  return next_worker_id_++;
+}
+
+void VirtualClock::remove_worker(int) {
+  std::lock_guard g(mu_);
+  --workers_;
+  maybe_step_locked();
+}
+
+void VirtualClock::pin() {
+  std::lock_guard g(mu_);
+  ++pins_;
+}
+
+void VirtualClock::unpin() {
+  std::lock_guard g(mu_);
+  if (--pins_ == 0) maybe_step_locked();
+}
+
+void VirtualClock::interrupt() {
+  std::lock_guard g(mu_);
+  ++epoch_;
+  maybe_step_locked();
+}
+
+void VirtualClock::park(Waiter& w, std::unique_lock<std::mutex>& lock,
+                        std::condition_variable& cv, const std::function<bool()>& wake) {
+  {
+    std::lock_guard g(mu_);
+    w.epoch = epoch_;
+    parked_.push_back(&w);
+    maybe_step_locked();
+  }
+  // The caller still holds its own mutex here, so a producer that inserts
+  // work under that mutex cannot notify before this wait is armed; the
+  // clock's own wake (set under mu_ before the notify) is covered by the
+  // `woken` flag in the predicate.
+  cv.wait(lock, [&] { return w.woken.load(std::memory_order_acquire) || wake(); });
+  {
+    std::lock_guard g(mu_);
+    std::erase(parked_, &w);
+    if (w.woken.load(std::memory_order_relaxed)) --pending_wakes_;
+  }
+}
+
+void VirtualClock::wait(int worker, std::unique_lock<std::mutex>& lock,
+                        std::condition_variable& cv, const std::function<bool()>& wake) {
+  Waiter w{worker, &cv, Clock::time_point{}, /*has_deadline=*/false, 0};
+  park(w, lock, cv, wake);
+}
+
+void VirtualClock::wait_until(int worker, std::unique_lock<std::mutex>& lock,
+                              std::condition_variable& cv, Clock::time_point deadline,
+                              const std::function<bool()>& wake) {
+  {
+    std::lock_guard g(mu_);
+    if (now_ >= deadline) return;  // already due — caller re-checks its queue
+  }
+  Waiter w{worker, &cv, deadline, /*has_deadline=*/true, 0};
+  park(w, lock, cv, wake);
+}
+
+void VirtualClock::begin_dispatch(int worker, Clock::time_point due) {
+  TurnRequest req{worker, due};
+  std::unique_lock g(mu_);
+  turn_requests_.push_back(&req);
+  maybe_step_locked();
+  turn_cv_.wait(g, [&] { return req.granted; });
+  std::erase(turn_requests_, &req);
+}
+
+void VirtualClock::end_dispatch() {
+  std::lock_guard g(mu_);
+  turn_active_ = false;
+  maybe_step_locked();
+}
+
+void VirtualClock::maybe_step_locked() {
+  // Quiescence: no event executing (turn or pin), no wake still being
+  // absorbed, and every registered worker either parked or queued for a
+  // dispatch turn. Anything else means a thread is still computing and may
+  // yet insert earlier events.
+  if (pins_ > 0 || turn_active_ || pending_wakes_ > 0) return;
+  if (workers_ == 0) return;
+  if (static_cast<int>(parked_.size() + turn_requests_.size()) < workers_) return;
+
+  // Re-validate stale registrations first: a producer inserted work since
+  // these waiters parked, so their registered deadlines may overshoot the
+  // true next event. Wake them; they re-check their queues and re-park.
+  bool woke_stale = false;
+  for (Waiter* w : parked_) {
+    if (w->epoch != epoch_ && !w->woken.load(std::memory_order_relaxed)) {
+      w->woken.store(true, std::memory_order_release);
+      ++pending_wakes_;
+      w->cv->notify_all();
+      woke_stale = true;
+    }
+  }
+  if (woke_stale) return;
+
+  // Grant the earliest pending dispatch (already-due event).
+  if (!turn_requests_.empty()) {
+    TurnRequest* best = turn_requests_.front();
+    for (TurnRequest* r : turn_requests_) {
+      if (std::tie(r->due, r->worker) < std::tie(best->due, best->worker)) best = r;
+    }
+    best->granted = true;
+    turn_active_ = true;
+    turn_cv_.notify_all();
+    return;
+  }
+
+  // Everyone idle: jump time to the earliest armed deadline and wake that
+  // waiter (exactly one — ties resolve by worker id, and the runner-up is
+  // woken by a later step once this event ran to completion).
+  Waiter* best = nullptr;
+  for (Waiter* w : parked_) {
+    if (!w->has_deadline) continue;
+    if (best == nullptr ||
+        std::tie(w->deadline, w->worker) < std::tie(best->deadline, best->worker)) {
+      best = w;
+    }
+  }
+  if (best == nullptr) return;  // fully idle: nothing armed, time stands still
+  if (best->deadline > now_) now_ = best->deadline;
+  best->woken.store(true, std::memory_order_release);
+  ++pending_wakes_;
+  best->cv->notify_all();
+}
+
+}  // namespace samoa::time

@@ -1,0 +1,203 @@
+// Virtual-time layer — deterministic simulation substrate.
+//
+// Every component that sleeps, arms a timeout, or stamps a deadline does so
+// through a ClockSource. Two implementations exist:
+//
+//   * WallClock — the process-global steady clock; waits really block.
+//     Behaviour is identical to the pre-clock-injection code. This is what
+//     the latency/overhead experiments need (they measure real time).
+//
+//   * VirtualClock — FoundationDB/TigerBeetle-style deterministic
+//     simulation. Time is a number that only moves when every registered
+//     worker thread (SimNetwork's delivery loop, each TimerService loop) is
+//     parked and no activity pin is held (a pin is held for every in-flight
+//     runtime computation). At that quiescent point the scheduler jumps
+//     `now()` straight to the earliest armed deadline and wakes exactly one
+//     waiter; events therefore execute one at a time, in (deadline,
+//     worker-id) order, each running to completion (including the isolated
+//     computation it spawned) before the next fires. A test run under
+//     VirtualClock burns zero wall-clock time in timers and is bit-for-bit
+//     reproducible from its seed.
+//
+// Protocol for a worker loop (SimNetwork / TimerService follow it):
+//
+//   1. register via WorkerHandle (constructor, before the thread starts);
+//   2. park with wait()/wait_until() while idle, passing a `wake` predicate
+//      covering every non-time reason to re-check (shutdown, queue change);
+//   3. bracket the execution of a due callback with begin_dispatch()/
+//      end_dispatch() — WITHOUT holding the service mutex — so the
+//      scheduler can serialize event execution;
+//   4. producers call interrupt() after inserting work so stale parked
+//      deadlines are re-validated before time advances past them.
+//
+// The clock must outlive every component registered with it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace samoa::time {
+
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  virtual Clock::time_point now() const = 0;
+  virtual bool is_virtual() const = 0;
+
+  /// Register / deregister a worker thread that consumes time. Returns a
+  /// stable worker id used to order simultaneous events deterministically.
+  virtual int add_worker() { return 0; }
+  virtual void remove_worker(int worker) { (void)worker; }
+
+  /// Park the calling worker until `wake()` holds (wait) or additionally
+  /// until `deadline` is reached (wait_until). May return spuriously; the
+  /// caller's loop re-checks its own state. `lock`/`cv` are the caller's
+  /// own mutex and condition variable; `wake` must be evaluable under
+  /// `lock` and must cover shutdown plus any queue change that invalidates
+  /// the registered deadline.
+  virtual void wait(int worker, std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                    const std::function<bool()>& wake) = 0;
+  virtual void wait_until(int worker, std::unique_lock<std::mutex>& lock,
+                          std::condition_variable& cv, Clock::time_point deadline,
+                          const std::function<bool()>& wake) = 0;
+
+  /// Serialize the execution of one due event (a packet delivery or timer
+  /// callback). Under VirtualClock, begin_dispatch blocks until every
+  /// other worker is parked or queued behind this dispatch and no activity
+  /// pin is held; simultaneous dispatches are granted in (due, worker)
+  /// order. Call WITHOUT holding the service mutex. No-ops on WallClock.
+  virtual void begin_dispatch(int worker, Clock::time_point due) {
+    (void)worker;
+    (void)due;
+  }
+  virtual void end_dispatch() {}
+
+  /// Activity pin: virtual time cannot advance and no event can dispatch
+  /// while at least one pin is held. The runtime holds one per in-flight
+  /// computation; test harnesses hold one while injecting a workload.
+  /// Never wait for simulated progress while holding a pin.
+  virtual void pin() {}
+  virtual void unpin() {}
+
+  /// Tell the scheduler that armed deadlines may have changed (a packet or
+  /// timer was inserted): parked workers re-validate their registered
+  /// deadlines before time advances past them.
+  virtual void interrupt() {}
+};
+
+/// Process-global wall clock (the default everywhere).
+ClockSource& wall_clock();
+
+class WallClock final : public ClockSource {
+ public:
+  Clock::time_point now() const override { return Clock::now(); }
+  bool is_virtual() const override { return false; }
+
+  void wait(int, std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+            const std::function<bool()>& wake) override {
+    cv.wait(lock, wake);
+  }
+  void wait_until(int, std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                  Clock::time_point deadline, const std::function<bool()>& wake) override {
+    cv.wait_until(lock, deadline, wake);
+  }
+};
+
+class VirtualClock final : public ClockSource {
+ public:
+  VirtualClock() = default;
+
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  Clock::time_point now() const override;
+  bool is_virtual() const override { return true; }
+
+  int add_worker() override;
+  void remove_worker(int worker) override;
+
+  void wait(int worker, std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+            const std::function<bool()>& wake) override;
+  void wait_until(int worker, std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                  Clock::time_point deadline, const std::function<bool()>& wake) override;
+
+  void begin_dispatch(int worker, Clock::time_point due) override;
+  void end_dispatch() override;
+
+  void pin() override;
+  void unpin() override;
+  void interrupt() override;
+
+ private:
+  struct Waiter {
+    int worker;
+    std::condition_variable* cv;
+    Clock::time_point deadline;
+    bool has_deadline;
+    std::uint64_t epoch;
+    std::atomic<bool> woken{false};
+  };
+  struct TurnRequest {
+    int worker;
+    Clock::time_point due;
+    bool granted = false;
+  };
+
+  void park(Waiter& w, std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+            const std::function<bool()>& wake);
+  /// The scheduler step, run at every quiescence-relevant transition.
+  /// Exactly one of: wake stale waiters, grant the earliest pending
+  /// dispatch, or advance time to the earliest deadline and wake its owner.
+  void maybe_step_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable turn_cv_;
+  Clock::time_point now_{};  // virtual epoch: time_point zero
+  int workers_ = 0;
+  int next_worker_id_ = 0;
+  long pins_ = 0;
+  std::uint64_t epoch_ = 0;
+  int pending_wakes_ = 0;
+  bool turn_active_ = false;
+  std::vector<Waiter*> parked_;
+  std::vector<TurnRequest*> turn_requests_;
+};
+
+/// RAII registration of a worker thread with a clock.
+class WorkerHandle {
+ public:
+  explicit WorkerHandle(ClockSource& clock) : clock_(&clock), id_(clock.add_worker()) {}
+  ~WorkerHandle() { clock_->remove_worker(id_); }
+
+  WorkerHandle(const WorkerHandle&) = delete;
+  WorkerHandle& operator=(const WorkerHandle&) = delete;
+
+  int id() const { return id_; }
+
+ private:
+  ClockSource* clock_;
+  int id_;
+};
+
+/// RAII activity pin; hold while injecting a workload so virtual time
+/// stands still until the setup is complete.
+class Pin {
+ public:
+  explicit Pin(ClockSource& clock) : clock_(&clock) { clock_->pin(); }
+  ~Pin() { clock_->unpin(); }
+
+  Pin(const Pin&) = delete;
+  Pin& operator=(const Pin&) = delete;
+
+ private:
+  ClockSource* clock_;
+};
+
+}  // namespace samoa::time

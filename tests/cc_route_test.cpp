@@ -167,15 +167,14 @@ TEST(VCARoute, EarlyReleaseOfCompletedPrefix) {
   // head's handler has completed (it is the caller of the blocking tail)?
   // No: head is *still on the stack* of the synchronous call chain, hence
   // still active -> head must NOT be released yet. Verify k2 blocks.
-  std::atomic<bool> k2_done{false};
+  OneShotEvent k2_done;
   auto route2 = Isolation::route(RouteSpec{}.entry(*head.handler));
   // k2 calls only head; bind a separate event for direct head calls.
   auto k2 = rt.spawn_isolated(route2, [&](Context& ctx) {
     ctx.trigger(eva);  // wait: eva triggers head which triggers evb -> undeclared!
-    k2_done.store(true);
+    k2_done.set();
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_FALSE(k2_done.load());
+  EXPECT_FALSE(k2_done.wait_for(std::chrono::milliseconds(50)));
   tail.release.set();
   k1.wait();
   // k2's head call eventually runs, but its nested evb trigger violates
@@ -216,18 +215,15 @@ TEST(VCARoute, AsyncStageReleasesFinishedUpstream) {
   auto route2 = Isolation::route(
       RouteSpec{}.entry(*head.handler).edge(*head.handler, *tail.handler));
   // k2 uses head only (over-declaring tail is allowed).
-  std::atomic<bool> head_done{false};
+  OneShotEvent head_done;
   auto k2 = rt.spawn_isolated(route2, [&](Context& ctx) {
     ctx.trigger(eva);  // head runs, issues async tail event
-    head_done.store(true);
+    head_done.set();
   });
   // k2's head call must be admitted while k1's tail is still blocked:
   // head was released early by Rule 4(b).
-  const auto deadline = Clock::now() + std::chrono::milliseconds(5000);
-  while (!head_done.load() && Clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  EXPECT_TRUE(head_done.load()) << "head not released early despite being unreachable";
+  EXPECT_TRUE(head_done.wait_for(std::chrono::milliseconds(5000)))
+      << "head not released early despite being unreachable";
   // k2's own tail event now waits behind k1's tail; release both.
   tail.release.set();
   k1.wait();

@@ -2,90 +2,35 @@
 // faults — message loss, transient partitions, one crash (minority), mixed
 // traffic on all three broadcast channels — must still converge to
 // identical totally-ordered histories, causal orders, and views.
+//
+// The scenario runs under a time::VirtualClock (see virtual_fleet.hpp):
+// every fault and every message is scheduled at a fixed virtual time, so
+// the sweep is reproducible per seed and spends no real time sleeping.
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <memory>
-#include <thread>
-
-#include "gc/group_node.hpp"
-#include "util/rng.hpp"
+#include "virtual_fleet.hpp"
 
 namespace samoa::gc {
 namespace {
 
-using net::LinkOptions;
-using net::SimNetwork;
-
-template <typename Pred>
-bool wait_until(Pred pred, std::chrono::milliseconds timeout = std::chrono::milliseconds(45000)) {
-  const auto deadline = Clock::now() + timeout;
-  while (Clock::now() < deadline) {
-    if (pred()) return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  return pred();
-}
+using testing::kFleetAbcasts;
+using testing::kFleetCcasts;
+using testing::kFleetSites;
+using testing::run_chaos_fleet;
 
 class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosSweep, FleetConvergesUnderFaults) {
   const std::uint64_t seed = GetParam();
-  Rng rng(seed);
+  const auto out = run_chaos_fleet(seed);
+  ASSERT_TRUE(out.converged) << "seed " << seed << ": fleet did not converge under chaos "
+                             << "within the virtual horizon";
 
-  GcOptions opts;
-  opts.retransmit_interval = std::chrono::microseconds(2000);
-  opts.retransmit_timeout = std::chrono::microseconds(3000);
-  opts.heartbeat_interval = std::chrono::microseconds(2000);
-  opts.fd_timeout = std::chrono::microseconds(20000);
-  opts.cs_retry_interval = std::chrono::microseconds(5000);
-  opts.cs_retry_timeout = std::chrono::microseconds(8000);
-
-  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(100),
-                             .jitter = std::chrono::microseconds(200),
-                             .drop_probability = 0.05},
-                 seed);
-  constexpr int kSites = 5;
-  std::vector<std::unique_ptr<GroupNode>> nodes;
-  for (int i = 0; i < kSites; ++i) nodes.push_back(std::make_unique<GroupNode>(net, opts));
-  std::vector<SiteId> members;
-  for (auto& n : nodes) members.push_back(n->id());
-  for (auto& n : nodes) n->start(View(1, members));
-
-  // Traffic burst with a transient partition in the middle and a crash of
-  // one non-coordinator site (majority survives).
-  constexpr int kAbcasts = 10;
-  constexpr int kCcasts = 6;
-  int sent_abcasts = 0;
-  for (int i = 0; i < kAbcasts / 2; ++i) {
-    nodes[rng.next_below(kSites)]->abcast("a" + std::to_string(sent_abcasts++));
-  }
-  // Transient partition between two random distinct sites.
-  const auto pa = rng.next_below(kSites);
-  const auto pb = (pa + 1 + rng.next_below(kSites - 1)) % kSites;
-  net.set_partitioned(nodes[pa]->id(), nodes[pb]->id(), true);
-  for (int i = 0; i < kCcasts; ++i) {
-    nodes[2]->ccast("c" + std::to_string(i));
-  }
-  for (int i = 0; i < kAbcasts / 2; ++i) {
-    nodes[rng.next_below(kSites)]->abcast("a" + std::to_string(sent_abcasts++));
-  }
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  net.set_partitioned(nodes[pa]->id(), nodes[pb]->id(), false);  // heal
-
-  // Crash the last site (never the coordinator of the first instances).
-  nodes[kSites - 1]->crash();
-
-  // Every surviving site must converge on the abcast history...
-  ASSERT_TRUE(wait_until([&] {
-    for (int i = 0; i < kSites - 1; ++i) {
-      if (nodes[i]->sink().adelivered().size() != kAbcasts) return false;
-    }
-    return true;
-  })) << "seed " << seed << ": abcast did not converge under chaos";
-  const auto ref = nodes[0]->sink().adelivered();
-  for (int i = 1; i < kSites - 1; ++i) {
-    const auto got = nodes[i]->sink().adelivered();
+  // Every surviving site converged on the abcast history...
+  const auto& ref = out.adelivered[0];
+  ASSERT_EQ(ref.size(), static_cast<std::size_t>(kFleetAbcasts));
+  for (int i = 1; i < kFleetSites - 1; ++i) {
+    const auto& got = out.adelivered[i];
     ASSERT_EQ(got.size(), ref.size());
     for (std::size_t j = 0; j < got.size(); ++j) {
       EXPECT_EQ(got[j].id, ref[j].id)
@@ -94,21 +39,14 @@ TEST_P(ChaosSweep, FleetConvergesUnderFaults) {
   }
 
   // ...and on the causal stream, in the sender's order (single origin).
-  ASSERT_TRUE(wait_until([&] {
-    for (int i = 0; i < kSites - 1; ++i) {
-      if (nodes[i]->sink().cdelivered().size() != kCcasts) return false;
-    }
-    return true;
-  })) << "seed " << seed << ": causal broadcasts did not converge";
-  for (int i = 0; i < kSites - 1; ++i) {
-    const auto got = nodes[i]->sink().cdelivered();
-    for (int j = 0; j < kCcasts; ++j) {
+  for (int i = 0; i < kFleetSites - 1; ++i) {
+    const auto& got = out.cdelivered[i];
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kFleetCcasts));
+    for (int j = 0; j < kFleetCcasts; ++j) {
       EXPECT_EQ(got[j], "c" + std::to_string(j))
           << "seed " << seed << ": causal order broken at site " << i;
     }
   }
-
-  for (auto& n : nodes) n->stop_timers();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep, ::testing::Values(1u, 17u, 4242u),

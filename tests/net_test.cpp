@@ -1,5 +1,12 @@
 // Unit tests for the network substrate: SimNetwork (latency, loss,
 // partitions, crashes, detach) and TimerService.
+//
+// Most cases run on a time::VirtualClock: deadlines fire in virtual time
+// at quiescence, so the tests are deterministic and burn zero wall-clock
+// time in sleeps. The two *regression* tests at the bottom (drain during a
+// delivery callback, cancel during a periodic callback) deliberately run
+// on the wall clock with short bounded sleeps — they reproduce races that
+// only exist when callbacks overlap real time.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -7,23 +14,18 @@
 
 #include "net/sim_network.hpp"
 #include "net/timer_service.hpp"
+#include "time/clock.hpp"
 #include "util/sync.hpp"
 
 namespace samoa::net {
 namespace {
 
-template <typename Pred>
-bool wait_until(Pred pred, std::chrono::milliseconds timeout = std::chrono::milliseconds(5000)) {
-  const auto deadline = Clock::now() + timeout;
-  while (Clock::now() < deadline) {
-    if (pred()) return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  return pred();
-}
+using time::Pin;
+using time::VirtualClock;
 
 TEST(SimNetwork, DeliversPacketToCallback) {
-  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(50)});
+  VirtualClock clock;
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(50)}, 1, &clock);
   std::atomic<int> got{0};
   SiteId a = net.add_site([&](const Packet&) {});
   SiteId b = net.add_site([&](const Packet& p) {
@@ -32,23 +34,34 @@ TEST(SimNetwork, DeliversPacketToCallback) {
     got.fetch_add(1);
   });
   net.send(a, b, Message::of(42));
-  EXPECT_TRUE(wait_until([&] { return got.load() == 1; }));
+  net.drain();
+  EXPECT_EQ(got.load(), 1);
   EXPECT_EQ(net.stats().delivered.value(), 1u);
 }
 
-TEST(SimNetwork, LatencyIsRespected) {
-  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(20000)});
-  std::atomic<bool> got{false};
+TEST(SimNetwork, VirtualLatencyIsExact) {
+  // Under virtual time the link latency is not a lower bound, it is the
+  // exact delivery offset: the scheduler jumps now() to the deadline.
+  VirtualClock clock;
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(20000)}, 1, &clock);
+  std::atomic<long> delivered_at_us{-1};
   SiteId a = net.add_site([](const Packet&) {});
-  SiteId b = net.add_site([&](const Packet&) { got.store(true); });
-  const auto start = Clock::now();
+  SiteId b = net.add_site([&](const Packet&) {
+    delivered_at_us.store(std::chrono::duration_cast<std::chrono::microseconds>(
+                              clock.now().time_since_epoch())
+                              .count());
+  });
+  const auto start = clock.now();
   net.send(a, b, Message::of(1));
-  EXPECT_TRUE(wait_until([&] { return got.load(); }));
-  EXPECT_GE(Clock::now() - start, std::chrono::microseconds(20000));
+  net.drain();
+  const auto start_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(start.time_since_epoch()).count();
+  EXPECT_EQ(delivered_at_us.load(), start_us + 20000);
 }
 
 TEST(SimNetwork, OrderPreservedOnOneLink) {
-  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(100)});
+  VirtualClock clock;
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(100)}, 1, &clock);
   std::vector<int> received;
   std::mutex mu;
   SiteId a = net.add_site([](const Packet&) {});
@@ -64,9 +77,10 @@ TEST(SimNetwork, OrderPreservedOnOneLink) {
 }
 
 TEST(SimNetwork, DropProbabilityLosesPackets) {
+  VirtualClock clock;
   SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10),
                              .drop_probability = 0.5},
-                 /*seed=*/7);
+                 /*seed=*/7, &clock);
   std::atomic<int> got{0};
   SiteId a = net.add_site([](const Packet&) {});
   SiteId b = net.add_site([&](const Packet&) { got.fetch_add(1); });
@@ -78,7 +92,8 @@ TEST(SimNetwork, DropProbabilityLosesPackets) {
 }
 
 TEST(SimNetwork, PartitionBlocksBothDirections) {
-  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)});
+  VirtualClock clock;
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)}, 1, &clock);
   std::atomic<int> got_a{0}, got_b{0};
   SiteId a = net.add_site([&](const Packet&) { got_a.fetch_add(1); });
   SiteId b = net.add_site([&](const Packet&) { got_b.fetch_add(1); });
@@ -94,7 +109,8 @@ TEST(SimNetwork, PartitionBlocksBothDirections) {
 }
 
 TEST(SimNetwork, CrashedSiteDropsTraffic) {
-  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)});
+  VirtualClock clock;
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)}, 1, &clock);
   std::atomic<int> got{0};
   SiteId a = net.add_site([](const Packet&) {});
   SiteId b = net.add_site([&](const Packet&) { got.fetch_add(1); });
@@ -106,7 +122,8 @@ TEST(SimNetwork, CrashedSiteDropsTraffic) {
 }
 
 TEST(SimNetwork, PerLinkOverride) {
-  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)});
+  VirtualClock clock;
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)}, 1, &clock);
   std::atomic<int> got{0};
   SiteId a = net.add_site([](const Packet&) {});
   SiteId b = net.add_site([&](const Packet&) { got.fetch_add(1); });
@@ -122,7 +139,8 @@ TEST(SimNetwork, PerLinkOverride) {
 }
 
 TEST(SimNetwork, UnknownDestinationCountsAsDrop) {
-  SimNetwork net;
+  VirtualClock clock;
+  SimNetwork net({}, 1, &clock);
   SiteId a = net.add_site([](const Packet&) {});
   net.send(a, SiteId{99}, Message::of(1));
   net.drain();
@@ -130,7 +148,8 @@ TEST(SimNetwork, UnknownDestinationCountsAsDrop) {
 }
 
 TEST(SimNetwork, DetachStopsCallbacksSafely) {
-  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(50)});
+  VirtualClock clock;
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(50)}, 1, &clock);
   std::atomic<int> got{0};
   SiteId a = net.add_site([](const Packet&) {});
   SiteId b = net.add_site([&](const Packet&) { got.fetch_add(1); });
@@ -142,7 +161,8 @@ TEST(SimNetwork, DetachStopsCallbacksSafely) {
 }
 
 TEST(TimerService, OneShotFires) {
-  TimerService timers;
+  VirtualClock clock;
+  TimerService timers(&clock);
   OneShotEvent fired;
   timers.schedule(std::chrono::microseconds(1000), [&] { fired.set(); });
   EXPECT_TRUE(fired.wait_for(std::chrono::milliseconds(5000)));
@@ -150,54 +170,140 @@ TEST(TimerService, OneShotFires) {
 }
 
 TEST(TimerService, FiresInDeadlineOrder) {
-  TimerService timers;
+  VirtualClock clock;
+  TimerService timers(&clock);
   std::vector<int> order;
   std::mutex mu;
   WaitGroup wg;
   wg.add(2);
-  timers.schedule(std::chrono::microseconds(40000), [&] {
-    std::unique_lock lock(mu);
-    order.push_back(2);
-    wg.done();
-  });
-  timers.schedule(std::chrono::microseconds(2000), [&] {
-    std::unique_lock lock(mu);
-    order.push_back(1);
-    wg.done();
-  });
+  {
+    // The pin keeps virtual time frozen until both timers are armed, so
+    // the order is decided by the deadlines, not the arming race.
+    Pin setup(clock);
+    timers.schedule(std::chrono::microseconds(40000), [&] {
+      std::unique_lock lock(mu);
+      order.push_back(2);
+      wg.done();
+    });
+    timers.schedule(std::chrono::microseconds(2000), [&] {
+      std::unique_lock lock(mu);
+      order.push_back(1);
+      wg.done();
+    });
+  }
   wg.wait();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(TimerService, CancelPreventsFiring) {
-  TimerService timers;
+  VirtualClock clock;
+  TimerService timers(&clock);
   std::atomic<bool> fired{false};
-  auto id = timers.schedule(std::chrono::microseconds(50000), [&] { fired.store(true); });
-  EXPECT_TRUE(timers.cancel(id));
-  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  OneShotEvent sentinel;
+  TimerId id = 0;
+  {
+    Pin setup(clock);
+    id = timers.schedule(std::chrono::microseconds(50000), [&] { fired.store(true); });
+    EXPECT_TRUE(timers.cancel(id));
+    // Sentinel strictly after the cancelled deadline: when it fires, the
+    // cancelled timer's slot has definitively passed.
+    timers.schedule(std::chrono::microseconds(100000), [&] { sentinel.set(); });
+  }
+  EXPECT_TRUE(sentinel.wait_for(std::chrono::milliseconds(5000)));
   EXPECT_FALSE(fired.load());
   EXPECT_FALSE(timers.cancel(id));  // already gone
 }
 
 TEST(TimerService, PeriodicFiresRepeatedly) {
-  TimerService timers;
+  VirtualClock clock;
+  TimerService timers(&clock);
   std::atomic<int> count{0};
-  auto id = timers.schedule_periodic(std::chrono::microseconds(2000), [&] { count.fetch_add(1); });
-  EXPECT_TRUE(wait_until([&] { return count.load() >= 3; }));
-  timers.cancel(id);
-  const int at_cancel = count.load();
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
-  EXPECT_LE(count.load(), at_cancel + 1);  // at most one in-flight firing
+  std::atomic<TimerId> id{0};
+  OneShotEvent done, sentinel;
+  {
+    Pin setup(clock);
+    id = timers.schedule_periodic(std::chrono::microseconds(2000), [&] {
+      if (count.fetch_add(1) + 1 == 3) {
+        // Mid-callback cancel of the running periodic timer: must stick.
+        EXPECT_TRUE(timers.cancel(id.load()));
+        done.set();
+      }
+    });
+  }
+  EXPECT_TRUE(done.wait_for(std::chrono::milliseconds(5000)));
+  {
+    Pin fence(clock);
+    timers.schedule(std::chrono::microseconds(50000), [&] { sentinel.set(); });
+  }
+  EXPECT_TRUE(sentinel.wait_for(std::chrono::milliseconds(5000)));
+  EXPECT_EQ(count.load(), 3);  // exact: the cancel suppressed the re-arm
 }
 
 TEST(TimerService, CancelAllStopsEverything) {
-  TimerService timers;
+  VirtualClock clock;
+  TimerService timers(&clock);
   std::atomic<int> count{0};
-  timers.schedule_periodic(std::chrono::microseconds(1000), [&] { count.fetch_add(1); });
-  timers.schedule(std::chrono::microseconds(1000), [&] { count.fetch_add(1); });
-  timers.cancel_all();
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  OneShotEvent sentinel;
+  {
+    Pin setup(clock);
+    timers.schedule_periodic(std::chrono::microseconds(1000), [&] { count.fetch_add(1); });
+    timers.schedule(std::chrono::microseconds(1000), [&] { count.fetch_add(1); });
+    timers.cancel_all();
+    timers.schedule(std::chrono::microseconds(10000), [&] { sentinel.set(); });
+  }
+  EXPECT_TRUE(sentinel.wait_for(std::chrono::milliseconds(5000)));
   EXPECT_EQ(count.load(), 0);
+}
+
+// --- Race regressions (wall clock on purpose; see file header) ---
+
+TEST(SimNetwork, DrainWaitsForInFlightDeliveryCallback) {
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)});
+  OneShotEvent in_callback, release;
+  std::atomic<int> c_got{0};
+  SiteId b{}, c{};
+  SiteId a = net.add_site([](const Packet&) {});
+  b = net.add_site([&](const Packet&) {
+    in_callback.set();
+    release.wait();
+    // The callback produces follow-up traffic *before* it returns — the
+    // exact window in which a drain() keyed only on the queue leaks work.
+    net.send(b, c, Message::of(1));
+  });
+  c = net.add_site([&](const Packet&) { c_got.fetch_add(1); });
+
+  net.send(a, b, Message::of(0));
+  in_callback.wait();  // b's callback is now running, queue is empty
+
+  std::atomic<bool> drain_returned{false};
+  std::thread drainer([&] {
+    net.drain();
+    drain_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(drain_returned.load()) << "drain returned while a delivery callback was running";
+  release.set();
+  drainer.join();
+  // drain() covered the callback's follow-up send too.
+  EXPECT_EQ(c_got.load(), 1);
+}
+
+TEST(TimerService, CancelDuringPeriodicCallbackIsHonored) {
+  TimerService timers;
+  OneShotEvent in_callback, release;
+  std::atomic<int> count{0};
+  TimerId id = timers.schedule_periodic(std::chrono::microseconds(1000), [&] {
+    if (count.fetch_add(1) == 0) {
+      in_callback.set();
+      release.wait();
+    }
+  });
+  in_callback.wait();  // the callback is running; the entry is not queued
+  EXPECT_TRUE(timers.cancel(id)) << "cancel lost while the periodic callback was running";
+  release.set();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(count.load(), 1) << "periodic timer re-armed despite cancellation";
+  EXPECT_FALSE(timers.cancel(id));  // gone for good
 }
 
 }  // namespace

@@ -1,0 +1,167 @@
+// Scripted virtual-time chaos harness for the group-communication fleet.
+//
+// Shared by gc_chaos_test (convergence assertions) and determinism_test
+// (same-seed replay comparison). The whole scenario — traffic bursts, a
+// transient partition, a crash — is scheduled at fixed *virtual* times on
+// a harness TimerService driven by the same time::VirtualClock as the
+// SimNetwork and every node, so a run burns zero real time in sleeps and
+// is a pure function of its seed.
+//
+// Scheduling discipline: every scripted callback performs exactly ONE
+// node API call (one spawned computation). The clock's dispatch turns plus
+// the runtime's activity pins then serialize all computations, which is
+// what makes the message streams — and the seeded RNG draws they trigger —
+// replay identically.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gc/group_node.hpp"
+#include "time/clock.hpp"
+#include "util/rng.hpp"
+#include "util/sync.hpp"
+
+namespace samoa::gc::testing {
+
+struct FleetOutcome {
+  bool converged = false;   // all survivors complete before the virtual horizon
+  long converged_at_us = -1;  // virtual time at which the checker saw it
+  // Per surviving site (0 .. kSites-2), in delivery order.
+  std::vector<std::vector<AppMessage>> adelivered;
+  std::vector<std::vector<std::string>> cdelivered;
+  std::uint64_t net_sent = 0;
+  std::uint64_t net_delivered = 0;
+  std::uint64_t net_dropped = 0;
+};
+
+constexpr int kFleetSites = 5;
+constexpr int kFleetAbcasts = 10;
+constexpr int kFleetCcasts = 6;
+
+inline FleetOutcome run_chaos_fleet(std::uint64_t seed) {
+  using namespace std::chrono;
+
+  time::VirtualClock clock;
+
+  GcOptions opts;
+  opts.clock = &clock;
+  opts.retransmit_interval = microseconds(2000);
+  opts.retransmit_timeout = microseconds(3000);
+  opts.heartbeat_interval = microseconds(2000);
+  opts.fd_timeout = microseconds(20000);
+  opts.cs_retry_interval = microseconds(5000);
+  opts.cs_retry_timeout = microseconds(8000);
+
+  net::SimNetwork net(net::LinkOptions{.base_latency = microseconds(100),
+                                       .jitter = microseconds(200),
+                                       .drop_probability = 0.05},
+                      seed, &clock);
+  net::TimerService script(&clock);  // harness-owned scenario timers
+
+  std::vector<std::unique_ptr<GroupNode>> nodes;
+  for (int i = 0; i < kFleetSites; ++i) nodes.push_back(std::make_unique<GroupNode>(net, opts));
+  std::vector<SiteId> members;
+  for (auto& n : nodes) members.push_back(n->id());
+
+  FleetOutcome out;
+  OneShotEvent done;
+
+  const auto all_survivors_complete = [&] {
+    for (int i = 0; i < kFleetSites - 1; ++i) {
+      if (nodes[i]->sink().adelivered().size() != kFleetAbcasts) return false;
+      if (nodes[i]->sink().cdelivered().size() != kFleetCcasts) return false;
+    }
+    return true;
+  };
+  const auto shut_down_fleet = [&] {
+    for (auto& n : nodes) n->stop_timers();
+    script.cancel_all();  // includes the timer whose callback is running
+  };
+
+  {
+    // Freeze virtual time while the scenario is armed: nothing fires until
+    // every node started and every scripted event is scheduled.
+    time::Pin setup(clock);
+    for (auto& n : nodes) n->start(View(1, members));
+
+    Rng rng(seed);
+    int sent_abcasts = 0;
+    // First traffic burst.
+    for (int i = 0; i < kFleetAbcasts / 2; ++i) {
+      const auto who = rng.next_below(kFleetSites);
+      const std::string payload = "a" + std::to_string(sent_abcasts++);
+      script.schedule(microseconds(100 + 200 * i),
+                      [&nodes, who, payload] { nodes[who]->abcast(payload); });
+    }
+    // Transient partition between two random distinct sites, healed ~20ms
+    // (virtual) later.
+    const auto pa = rng.next_below(kFleetSites);
+    const auto pb = (pa + 1 + rng.next_below(kFleetSites - 1)) % kFleetSites;
+    script.schedule(microseconds(1500), [&net, &nodes, pa, pb] {
+      net.set_partitioned(nodes[pa]->id(), nodes[pb]->id(), true);
+    });
+    script.schedule(microseconds(22000), [&net, &nodes, pa, pb] {
+      net.set_partitioned(nodes[pa]->id(), nodes[pb]->id(), false);
+    });
+    // Causal stream from one origin, and a second abcast burst, both while
+    // the partition is up.
+    for (int i = 0; i < kFleetCcasts; ++i) {
+      const std::string payload = "c" + std::to_string(i);
+      script.schedule(microseconds(1600 + 150 * i),
+                      [&nodes, payload] { nodes[2]->ccast(payload); });
+    }
+    for (int i = 0; i < kFleetAbcasts / 2; ++i) {
+      const auto who = rng.next_below(kFleetSites);
+      const std::string payload = "a" + std::to_string(sent_abcasts++);
+      script.schedule(microseconds(2600 + 300 * i),
+                      [&nodes, who, payload] { nodes[who]->abcast(payload); });
+    }
+    // Crash the last site after the heal (never the coordinator of the
+    // first consensus instances; a majority survives).
+    script.schedule(microseconds(23000), [&nodes] { nodes[kFleetSites - 1]->crash(); });
+
+    // Convergence checker: the shutdown point must itself be a scripted
+    // (virtual-time) event, or the collected stats would depend on real
+    // teardown timing.
+    script.schedule_periodic(microseconds(1000), [&] {
+      if (!all_survivors_complete()) return;
+      out.converged = true;
+      out.converged_at_us = static_cast<long>(
+          duration_cast<microseconds>(clock.now().time_since_epoch()).count());
+      shut_down_fleet();
+      done.set();
+    });
+    // Horizon failsafe: give up after 2 virtual seconds.
+    script.schedule(microseconds(2'000'000), [&] {
+      shut_down_fleet();
+      done.set();
+    });
+  }
+
+  done.wait();
+  // Quiesce to the fixpoint: drained packets can complete computations that
+  // send more packets; loop until a full round adds no network activity.
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (;;) {
+    net.drain();
+    for (auto& n : nodes) n->drain();
+    const std::uint64_t total = net.stats().sent.value() + net.stats().delivered.value() +
+                                net.stats().dropped.value();
+    if (total == prev) break;
+    prev = total;
+  }
+
+  for (int i = 0; i < kFleetSites - 1; ++i) {
+    out.adelivered.push_back(nodes[i]->sink().adelivered());
+    out.cdelivered.push_back(nodes[i]->sink().cdelivered());
+  }
+  out.net_sent = net.stats().sent.value();
+  out.net_delivered = net.stats().delivered.value();
+  out.net_dropped = net.stats().dropped.value();
+  return out;
+}
+
+}  // namespace samoa::gc::testing
