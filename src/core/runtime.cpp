@@ -33,52 +33,62 @@ ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Con
   }
   // Pin virtual time for the lifetime of the computation: the simulated
   // clock must not advance (and no further event may dispatch) until the
-  // work this event triggered has fully completed.
+  // work this event triggered has fully completed. The matching unpin is
+  // tied to removing `id` from inflight_ (normally in on_computation_done;
+  // in the catch below if tracing or submission throws) — whichever path
+  // wins the erase unpins, so the pin is released exactly once even when
+  // pool_.submit enqueues the task before throwing. A leaked pin would
+  // freeze virtual time forever.
   if (opts_.clock != nullptr) opts_.clock->pin();
-  stats_.spawned.add();
-  if (trace_) trace_->record(TracePhase::kSpawn, id, MicroprotocolId{}, HandlerId{});
+  try {
+    stats_.spawned.add();
+    if (trace_) trace_->record(TracePhase::kSpawn, id, MicroprotocolId{}, HandlerId{});
 
-  comp->task_started();  // the root expression counts as one task
-  pool_.submit([this, comp, root = std::move(root)] {
-    // The loop only repeats under TSO, whose wait-die losers roll back
-    // their TxVar state and re-run with a fresh timestamp. The versioning
-    // controllers never abort, so the first pass is the only pass.
-    constexpr std::uint32_t kMaxRestarts = 1000;
-    for (;;) {
-      Context ctx(comp, HandlerId{});
-      try {
-        comp->cc().on_start();
-        root(ctx);
-      } catch (const RestartNeeded&) {
-        // Order matters: roll the TxVar state back *while the claims are
-        // still held* — releasing first would let another computation read
-        // (and build on) state the rollback is about to clobber.
-        comp->undo_log().rollback();  // restore TxVar state
-        comp->cc().on_abort();        // then release claims; keeps its timestamp
-        // Everything this pass touched has been undone; tell the trace so
-        // the isolation checker ignores the aborted accesses. The retry
-        // keeps the original timestamp (classic wait-die), so a restarted
-        // computation only ever gets older relative to newcomers and
-        // cannot starve.
-        if (trace_) {
-          trace_->record(TracePhase::kAbort, comp->id(), MicroprotocolId{}, HandlerId{});
+    comp->task_started();  // the root expression counts as one task
+    pool_.submit([this, comp, root = std::move(root)] {
+      // The loop only repeats under TSO, whose wait-die losers roll back
+      // their TxVar state and re-run with a fresh timestamp. The versioning
+      // controllers never abort, so the first pass is the only pass.
+      constexpr std::uint32_t kMaxRestarts = 1000;
+      for (;;) {
+        Context ctx(comp, HandlerId{});
+        try {
+          comp->cc().on_start();
+          root(ctx);
+        } catch (const RestartNeeded&) {
+          // Order matters: roll the TxVar state back *while the claims are
+          // still held* — releasing first would let another computation read
+          // (and build on) state the rollback is about to clobber.
+          comp->undo_log().rollback();  // restore TxVar state
+          comp->cc().on_abort();        // then release claims; keeps its timestamp
+          // Everything this pass touched has been undone; tell the trace so
+          // the isolation checker ignores the aborted accesses. The retry
+          // keeps the original timestamp (classic wait-die), so a restarted
+          // computation only ever gets older relative to newcomers and
+          // cannot starve.
+          if (trace_) {
+            trace_->record(TracePhase::kAbort, comp->id(), MicroprotocolId{}, HandlerId{});
+          }
+          comp->count_restart();
+          if (comp->restarts() >= kMaxRestarts) {
+            comp->record_error(std::make_exception_ptr(
+                SamoaError("TSO computation exceeded the restart limit (livelock?)")));
+            break;
+          }
+          continue;
+        } catch (...) {
+          comp->record_error(std::current_exception());
         }
-        comp->count_restart();
-        if (comp->restarts() >= kMaxRestarts) {
-          comp->record_error(std::make_exception_ptr(
-              SamoaError("TSO computation exceeded the restart limit (livelock?)")));
-          break;
-        }
-        continue;
-      } catch (...) {
-        comp->record_error(std::current_exception());
+        comp->undo_log().clear();  // committed: drop the rollback entries
+        break;
       }
-      comp->undo_log().clear();  // committed: drop the rollback entries
-      break;
-    }
-    comp->cc().on_root_done();
-    comp->task_finished();
-  });
+      comp->cc().on_root_done();
+      comp->task_finished();
+    });
+  } catch (...) {
+    if (remove_inflight(id) && opts_.clock != nullptr) opts_.clock->unpin();
+    throw;
+  }
   return ComputationHandle(comp);
 }
 
@@ -86,14 +96,16 @@ void Runtime::record_computation_done(ComputationId id) {
   if (trace_) trace_->record(TracePhase::kDone, id, MicroprotocolId{}, HandlerId{});
 }
 
+bool Runtime::remove_inflight(ComputationId id) {
+  std::unique_lock lock(inflight_mu_);
+  const bool removed = inflight_.erase(id) > 0;
+  if (removed) inflight_cv_.notify_all();
+  return removed;
+}
+
 void Runtime::on_computation_done(ComputationId id) {
   stats_.completed.add();
-  {
-    std::unique_lock lock(inflight_mu_);
-    inflight_.erase(id);
-    inflight_cv_.notify_all();
-  }
-  if (opts_.clock != nullptr) opts_.clock->unpin();
+  if (remove_inflight(id) && opts_.clock != nullptr) opts_.clock->unpin();
 }
 
 void Runtime::drain() {

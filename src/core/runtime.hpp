@@ -75,6 +75,10 @@ class Runtime {
   void count_handler_call() { stats_.handler_calls.add(); }
 
  private:
+  /// Erase `id` from inflight_, waking drain(). Returns whether this call
+  /// removed it — the winner owns the computation's virtual-time unpin.
+  bool remove_inflight(ComputationId id);
+
   Stack& stack_;
   RuntimeOptions opts_;
   std::unique_ptr<ConcurrencyController> controller_;

@@ -62,6 +62,9 @@ void SimNetwork::send(SiteId from, SiteId to, Message payload) {
   in_flight_.push(
       InFlight{clock_.now() + latency, next_seq_++, Packet{from, to, std::move(payload)}});
   cv_.notify_all();
+  lock.unlock();
+  // interrupt() must run with mu_ released: the scheduler's wake path locks
+  // the parked delivery loop's mutex — this mu_ — to deliver the notify.
   clock_.interrupt();
 }
 

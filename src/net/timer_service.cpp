@@ -19,20 +19,28 @@ TimerService::~TimerService() {
 }
 
 TimerId TimerService::schedule(std::chrono::microseconds delay, std::function<void()> fn) {
-  std::unique_lock lock(mu_);
-  const TimerId id = next_id_++;
-  queue_.emplace(clock_.now() + delay, Entry{id, std::chrono::microseconds{0}, std::move(fn)});
-  cv_.notify_all();
+  TimerId id;
+  {
+    std::unique_lock lock(mu_);
+    id = next_id_++;
+    queue_.emplace(clock_.now() + delay, Entry{id, std::chrono::microseconds{0}, std::move(fn)});
+    cv_.notify_all();
+  }
+  // interrupt() must run with mu_ released: the scheduler's wake path locks
+  // the parked loop's mutex — this mu_ — to deliver the notify.
   clock_.interrupt();
   return id;
 }
 
 TimerId TimerService::schedule_periodic(std::chrono::microseconds interval,
                                         std::function<void()> fn) {
-  std::unique_lock lock(mu_);
-  const TimerId id = next_id_++;
-  queue_.emplace(clock_.now() + interval, Entry{id, interval, std::move(fn)});
-  cv_.notify_all();
+  TimerId id;
+  {
+    std::unique_lock lock(mu_);
+    id = next_id_++;
+    queue_.emplace(clock_.now() + interval, Entry{id, interval, std::move(fn)});
+    cv_.notify_all();
+  }
   clock_.interrupt();
   return id;
 }

@@ -1,6 +1,7 @@
 #include "time/clock.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <tuple>
 
 namespace samoa::time {
@@ -21,10 +22,22 @@ int VirtualClock::add_worker() {
   return next_worker_id_++;
 }
 
-void VirtualClock::remove_worker(int) {
-  std::lock_guard g(mu_);
-  --workers_;
-  maybe_step_locked();
+void VirtualClock::remove_worker(int worker) {
+  std::vector<PendingWake> wakes;
+  {
+    std::unique_lock g(mu_);
+    // An in-flight notify still dereferences some waiter's service
+    // mutex/cv; once this worker deregisters its service may be destroyed,
+    // so drain them before letting the caller proceed.
+    notify_drain_cv_.wait(g, [this] { return notifies_in_flight_ == 0; });
+    // Callers must join the worker thread before WorkerHandle destruction,
+    // so nothing of this worker can still be parked or queued for a turn.
+    for ([[maybe_unused]] const Waiter* w : parked_) assert(w->worker != worker);
+    for ([[maybe_unused]] const TurnRequest* r : turn_requests_) assert(r->worker != worker);
+    --workers_;
+    wakes = step_locked();
+  }
+  flush_wakes(std::move(wakes), nullptr);
 }
 
 void VirtualClock::pin() {
@@ -33,28 +46,39 @@ void VirtualClock::pin() {
 }
 
 void VirtualClock::unpin() {
-  std::lock_guard g(mu_);
-  if (--pins_ == 0) maybe_step_locked();
+  std::vector<PendingWake> wakes;
+  {
+    std::lock_guard g(mu_);
+    if (--pins_ != 0) return;
+    wakes = step_locked();
+  }
+  flush_wakes(std::move(wakes), nullptr);
 }
 
 void VirtualClock::interrupt() {
-  std::lock_guard g(mu_);
-  ++epoch_;
-  maybe_step_locked();
+  std::vector<PendingWake> wakes;
+  {
+    std::lock_guard g(mu_);
+    ++epoch_;
+    wakes = step_locked();
+  }
+  flush_wakes(std::move(wakes), nullptr);
 }
 
 void VirtualClock::park(Waiter& w, std::unique_lock<std::mutex>& lock,
                         std::condition_variable& cv, const std::function<bool()>& wake) {
+  std::vector<PendingWake> wakes;
   {
     std::lock_guard g(mu_);
     w.epoch = epoch_;
     parked_.push_back(&w);
-    maybe_step_locked();
+    wakes = step_locked();
   }
-  // The caller still holds its own mutex here, so a producer that inserts
-  // work under that mutex cannot notify before this wait is armed; the
-  // clock's own wake (set under mu_ before the notify) is covered by the
-  // `woken` flag in the predicate.
+  // The step may have selected wakes (possibly our own waiter). Deliver
+  // them before blocking; flush_wakes may briefly release `lock`, which is
+  // fine because the wait below re-evaluates its predicate first. A wake
+  // aimed at us is then seen via `woken` on that first evaluation.
+  flush_wakes(std::move(wakes), &lock);
   cv.wait(lock, [&] { return w.woken.load(std::memory_order_acquire) || wake(); });
   {
     std::lock_guard g(mu_);
@@ -65,7 +89,7 @@ void VirtualClock::park(Waiter& w, std::unique_lock<std::mutex>& lock,
 
 void VirtualClock::wait(int worker, std::unique_lock<std::mutex>& lock,
                         std::condition_variable& cv, const std::function<bool()>& wake) {
-  Waiter w{worker, &cv, Clock::time_point{}, /*has_deadline=*/false, 0};
+  Waiter w{worker, lock.mutex(), &cv, Clock::time_point{}, /*has_deadline=*/false, 0};
   park(w, lock, cv, wake);
 }
 
@@ -76,7 +100,7 @@ void VirtualClock::wait_until(int worker, std::unique_lock<std::mutex>& lock,
     std::lock_guard g(mu_);
     if (now_ >= deadline) return;  // already due — caller re-checks its queue
   }
-  Waiter w{worker, &cv, deadline, /*has_deadline=*/true, 0};
+  Waiter w{worker, lock.mutex(), &cv, deadline, /*has_deadline=*/true, 0};
   park(w, lock, cv, wake);
 }
 
@@ -84,41 +108,53 @@ void VirtualClock::begin_dispatch(int worker, Clock::time_point due) {
   TurnRequest req{worker, due};
   std::unique_lock g(mu_);
   turn_requests_.push_back(&req);
-  maybe_step_locked();
+  auto wakes = step_locked();
+  if (!wakes.empty()) {
+    g.unlock();
+    flush_wakes(std::move(wakes), nullptr);
+    g.lock();
+  }
   turn_cv_.wait(g, [&] { return req.granted; });
   std::erase(turn_requests_, &req);
 }
 
 void VirtualClock::end_dispatch() {
-  std::lock_guard g(mu_);
-  turn_active_ = false;
-  maybe_step_locked();
+  std::vector<PendingWake> wakes;
+  {
+    std::lock_guard g(mu_);
+    turn_active_ = false;
+    wakes = step_locked();
+  }
+  flush_wakes(std::move(wakes), nullptr);
 }
 
-void VirtualClock::maybe_step_locked() {
+std::vector<VirtualClock::PendingWake> VirtualClock::step_locked() {
+  std::vector<PendingWake> wakes;
   // Quiescence: no event executing (turn or pin), no wake still being
   // absorbed, and every registered worker either parked or queued for a
   // dispatch turn. Anything else means a thread is still computing and may
   // yet insert earlier events.
-  if (pins_ > 0 || turn_active_ || pending_wakes_ > 0) return;
-  if (workers_ == 0) return;
-  if (static_cast<int>(parked_.size() + turn_requests_.size()) < workers_) return;
+  if (pins_ > 0 || turn_active_ || pending_wakes_ > 0) return wakes;
+  if (workers_ == 0) return wakes;
+  if (static_cast<int>(parked_.size() + turn_requests_.size()) < workers_) return wakes;
 
   // Re-validate stale registrations first: a producer inserted work since
   // these waiters parked, so their registered deadlines may overshoot the
   // true next event. Wake them; they re-check their queues and re-park.
-  bool woke_stale = false;
   for (Waiter* w : parked_) {
     if (w->epoch != epoch_ && !w->woken.load(std::memory_order_relaxed)) {
       w->woken.store(true, std::memory_order_release);
       ++pending_wakes_;
-      w->cv->notify_all();
-      woke_stale = true;
+      wakes.push_back({w->mu, w->cv});
     }
   }
-  if (woke_stale) return;
+  if (!wakes.empty()) {
+    notifies_in_flight_ += static_cast<int>(wakes.size());
+    return wakes;
+  }
 
-  // Grant the earliest pending dispatch (already-due event).
+  // Grant the earliest pending dispatch (already-due event). The grantee
+  // waits on turn_cv_ under mu_ itself, so notifying here is race-free.
   if (!turn_requests_.empty()) {
     TurnRequest* best = turn_requests_.front();
     for (TurnRequest* r : turn_requests_) {
@@ -127,7 +163,7 @@ void VirtualClock::maybe_step_locked() {
     best->granted = true;
     turn_active_ = true;
     turn_cv_.notify_all();
-    return;
+    return wakes;
   }
 
   // Everyone idle: jump time to the earliest armed deadline and wake that
@@ -141,11 +177,46 @@ void VirtualClock::maybe_step_locked() {
       best = w;
     }
   }
-  if (best == nullptr) return;  // fully idle: nothing armed, time stands still
+  if (best == nullptr) return wakes;  // fully idle: nothing armed, time stands still
   if (best->deadline > now_) now_ = best->deadline;
   best->woken.store(true, std::memory_order_release);
   ++pending_wakes_;
-  best->cv->notify_all();
+  ++notifies_in_flight_;
+  wakes.push_back({best->mu, best->cv});
+  return wakes;
+}
+
+void VirtualClock::flush_wakes(std::vector<PendingWake> wakes,
+                               std::unique_lock<std::mutex>* held) {
+  if (wakes.empty()) return;
+  // A notify is only guaranteed to land if it is issued while holding the
+  // waiter's own mutex: the waiter is then either already blocked (the
+  // notify wakes it) or has yet to evaluate its predicate under that mutex
+  // (and will observe `woken`). Issuing it under mu_ alone can fall into
+  // the gap between predicate check and block and be lost forever.
+  std::size_t others = 0;
+  for (const PendingWake& wk : wakes) {
+    if (held != nullptr && wk.mu == held->mutex()) {
+      wk.cv->notify_all();  // we already hold this waiter's mutex
+    } else {
+      ++others;
+    }
+  }
+  if (others > 0) {
+    // Never hold one service mutex while acquiring another — that is the
+    // only place a lock cycle between services could form. Dropping the
+    // caller's lock is safe: park's cv.wait re-checks its predicate.
+    if (held != nullptr) held->unlock();
+    for (const PendingWake& wk : wakes) {
+      if (held != nullptr && wk.mu == held->mutex()) continue;
+      std::lock_guard wl(*wk.mu);
+      wk.cv->notify_all();
+    }
+    if (held != nullptr) held->lock();
+  }
+  std::lock_guard g(mu_);
+  notifies_in_flight_ -= static_cast<int>(wakes.size());
+  if (notifies_in_flight_ == 0) notify_drain_cv_.notify_all();
 }
 
 }  // namespace samoa::time

@@ -27,8 +27,14 @@
 //   3. bracket the execution of a due callback with begin_dispatch()/
 //      end_dispatch() — WITHOUT holding the service mutex — so the
 //      scheduler can serialize event execution;
-//   4. producers call interrupt() after inserting work so stale parked
-//      deadlines are re-validated before time advances past them.
+//   4. producers call interrupt() after inserting work — and after
+//      releasing the service mutex — so stale parked deadlines are
+//      re-validated before time advances past them. The scheduler's wake
+//      path acquires the target waiter's service mutex, so calling
+//      interrupt() (or end_dispatch()) while holding a mutex some waiter
+//      parks with would self-deadlock. The window between insert and
+//      interrupt is covered by the caller's dispatch turn or activity pin,
+//      either of which stalls the scheduler.
 //
 // The clock must outlive every component registered with it.
 #pragma once
@@ -88,7 +94,8 @@ class ClockSource {
 
   /// Tell the scheduler that armed deadlines may have changed (a packet or
   /// timer was inserted): parked workers re-validate their registered
-  /// deadlines before time advances past them.
+  /// deadlines before time advances past them. Call WITHOUT holding any
+  /// mutex a waiter parks with (the wake path locks it).
   virtual void interrupt() {}
 };
 
@@ -138,6 +145,7 @@ class VirtualClock final : public ClockSource {
  private:
   struct Waiter {
     int worker;
+    std::mutex* mu;  // the service mutex the waiter blocks with
     std::condition_variable* cv;
     Clock::time_point deadline;
     bool has_deadline;
@@ -149,22 +157,46 @@ class VirtualClock final : public ClockSource {
     Clock::time_point due;
     bool granted = false;
   };
+  /// A wake selected by the scheduler but not yet delivered. Holds the
+  /// waiter's service mutex/cv, not the Waiter itself: the waiter may
+  /// absorb the wake (via its own predicate) and unwind before the notify
+  /// lands; the service's mutex and cv stay valid until remove_worker,
+  /// which drains in-flight notifies first.
+  struct PendingWake {
+    std::mutex* mu;
+    std::condition_variable* cv;
+  };
 
   void park(Waiter& w, std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
             const std::function<bool()>& wake);
   /// The scheduler step, run at every quiescence-relevant transition.
   /// Exactly one of: wake stale waiters, grant the earliest pending
-  /// dispatch, or advance time to the earliest deadline and wake its owner.
-  void maybe_step_locked();
+  /// dispatch, or advance time to the earliest deadline and wake its
+  /// owner. Turn grants are notified inline (turn_cv_ waits on mu_);
+  /// waiter wakes are returned for the caller to deliver via flush_wakes
+  /// AFTER releasing mu_ — notifying a waiter's cv without holding its
+  /// service mutex can land between its predicate check and its block and
+  /// be lost (classic lost wakeup), deadlocking the simulation.
+  [[nodiscard]] std::vector<PendingWake> step_locked();
+  /// Deliver wakes collected by step_locked. Must be called with mu_
+  /// released. `held` is the service lock the caller still owns (park), or
+  /// null: a wake targeting it is notified directly (safe — we hold the
+  /// mutex); for any other target `held` is released first, so no thread
+  /// ever holds one service mutex while acquiring another (no lock
+  /// cycles). Releasing `held` mid-park is safe because cv.wait
+  /// re-evaluates its predicate under the lock before blocking.
+  void flush_wakes(std::vector<PendingWake> wakes, std::unique_lock<std::mutex>* held);
 
   mutable std::mutex mu_;
   std::condition_variable turn_cv_;
+  std::condition_variable notify_drain_cv_;
   Clock::time_point now_{};  // virtual epoch: time_point zero
   int workers_ = 0;
   int next_worker_id_ = 0;
   long pins_ = 0;
   std::uint64_t epoch_ = 0;
   int pending_wakes_ = 0;
+  int notifies_in_flight_ = 0;
   bool turn_active_ = false;
   std::vector<Waiter*> parked_;
   std::vector<TurnRequest*> turn_requests_;
