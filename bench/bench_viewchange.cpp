@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "gc/group_node.hpp"
+#include "virtual_fleet.hpp"
 
 namespace samoa::bench {
 namespace {
@@ -85,6 +86,9 @@ int main() {
       std::int64_t total = 0;
       int failed_joins = 0;
       for (int r = 0; r < kRuns; ++r) {
+        std::fprintf(stderr, "[E2] window=%lldus policy=%d locks=%d run=%d\n",
+                     static_cast<long long>(window.count()), static_cast<int>(cfg.policy),
+                     cfg.locks ? 1 : 0, r);
         auto [discards, joined] = run_race(cfg.policy, cfg.locks, window, 100 + r);
         total += discards;
         failed_joins += joined ? 0 : 1;
@@ -102,5 +106,27 @@ int main() {
       "controller at every window width; the Cactus-style baseline discards\n"
       "messages once the window is wide enough to interleave the ViewChange\n"
       "with message processing — the paper's motivating bug.\n");
+
+  // E-REJOIN — crash-recovery time. The scripted recovery fleet
+  // (tests/virtual_fleet.hpp) crashes, evicts, restarts and re-joins a
+  // site under a partition; the metric is the *virtual* time from the
+  // re-join request to the rejoined incarnation's first totally-ordered
+  // delivery (state transfer + ordering catch-up latency, free of
+  // scheduling noise).
+  std::printf("\nE-REJOIN: virtual-time recovery latency (5 sites, 2 crash/rejoin cycles)\n");
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::fprintf(stderr, "[E-REJOIN] seed=%llu\n", static_cast<unsigned long long>(seed));
+    const auto out = gc::testing::run_recovery_fleet(seed);
+    const long recovery_us = (out.rejoin4_first_delivery_us >= 0 && out.rejoin4_requested_us >= 0)
+                                 ? out.rejoin4_first_delivery_us - out.rejoin4_requested_us
+                                 : -1;
+    std::printf("BENCH {\"bench\":\"viewchange_recovery\",\"seed\":%llu,"
+                "\"recovery_us\":%ld,\"converged\":%s,\"rejoins\":%llu,"
+                "\"retransmissions_to_evicted\":%llu}\n",
+                static_cast<unsigned long long>(seed), recovery_us,
+                out.converged ? "true" : "false",
+                static_cast<unsigned long long>(out.rejoins_completed),
+                static_cast<unsigned long long>(out.retrans_to_evicted_probe2));
+  }
   return 0;
 }

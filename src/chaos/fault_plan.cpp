@@ -1,0 +1,68 @@
+#include "chaos/fault_plan.hpp"
+
+namespace samoa::chaos {
+
+FaultPlan& FaultPlan::crash(std::chrono::microseconds at, SiteId site) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kCrash;
+  a.a = site;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover(std::chrono::microseconds at, SiteId site) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kRecover;
+  a.a = site;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::chrono::microseconds at, SiteId a, SiteId b) {
+  FaultAction act;
+  act.at = at;
+  act.kind = FaultAction::Kind::kPartition;
+  act.a = a;
+  act.b = b;
+  actions_.push_back(std::move(act));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(std::chrono::microseconds at, SiteId a, SiteId b) {
+  FaultAction act;
+  act.at = at;
+  act.kind = FaultAction::Kind::kHeal;
+  act.a = a;
+  act.b = b;
+  actions_.push_back(std::move(act));
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss_burst(std::chrono::microseconds from, std::chrono::microseconds until,
+                                 net::LinkOptions burst) {
+  FaultAction on;
+  on.at = from;
+  on.kind = FaultAction::Kind::kLossBurst;
+  on.link = burst;
+  actions_.push_back(std::move(on));
+  FaultAction off;
+  off.at = until;
+  off.kind = FaultAction::Kind::kLossClear;
+  actions_.push_back(std::move(off));
+  return *this;
+}
+
+FaultPlan& FaultPlan::call(std::chrono::microseconds at, std::string label,
+                           std::function<void()> fn) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kCall;
+  a.label = std::move(label);
+  a.fn = std::move(fn);
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+}  // namespace samoa::chaos

@@ -1,0 +1,62 @@
+// Declarative fault plans.
+//
+// A FaultPlan is a schedule of fault injections — crashes, recoveries,
+// partitions, heals, loss bursts, and arbitrary scripted calls — pinned to
+// virtual-time offsets. Tests and benches build one plan and hand it to a
+// ChaosEngine, which arms every action on a TimerService; under the
+// VirtualClock the whole scenario is deterministic and replayable, so one
+// plan serves the chaos test, the determinism test and the recovery bench
+// identically (Babel's crash/recovery testing discipline, PAPERS.md).
+//
+// The plan layer depends only on the network simulator: protocol-level
+// steps (restarting a GroupNode, issuing the rejoin request) enter a plan
+// as labelled `call` actions, keeping src/chaos free of gc knowledge.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/sim_network.hpp"
+#include "util/ids.hpp"
+
+namespace samoa::chaos {
+
+struct FaultAction {
+  enum class Kind { kCrash, kRecover, kPartition, kHeal, kLossBurst, kLossClear, kCall };
+
+  std::chrono::microseconds at{0};  // virtual-time offset from engine start
+  Kind kind = Kind::kCall;
+  SiteId a;  // crash/recover target; one partition endpoint
+  SiteId b;  // the other partition endpoint
+  net::LinkOptions link;      // loss burst: defaults override while active
+  std::string label;          // call: shown in the engine log
+  std::function<void()> fn;   // call: the scripted step
+};
+
+class FaultPlan {
+ public:
+  /// Network-level crash: every packet to/from `site` is dropped.
+  FaultPlan& crash(std::chrono::microseconds at, SiteId site);
+  /// Undo a network-level crash (protocol-level rejoin is a call()).
+  FaultPlan& recover(std::chrono::microseconds at, SiteId site);
+  /// Cut both directions between a and b.
+  FaultPlan& partition(std::chrono::microseconds at, SiteId a, SiteId b);
+  /// Heal a partition.
+  FaultPlan& heal(std::chrono::microseconds at, SiteId a, SiteId b);
+  /// Override the network's default link options (typically with a high
+  /// drop_probability) for [from, until); the previous defaults are
+  /// restored at `until`.
+  FaultPlan& loss_burst(std::chrono::microseconds from, std::chrono::microseconds until,
+                        net::LinkOptions burst);
+  /// Arbitrary scripted step (node restart, rejoin request, probe, ...).
+  FaultPlan& call(std::chrono::microseconds at, std::string label, std::function<void()> fn);
+
+  const std::vector<FaultAction>& actions() const { return actions_; }
+
+ private:
+  std::vector<FaultAction> actions_;
+};
+
+}  // namespace samoa::chaos

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gc/membership.hpp"
+
 namespace samoa::gc {
 
 ABcast::ABcast(const GcOptions& opts, const GcEvents& events, SiteId self, View initial_view)
@@ -13,7 +15,8 @@ ABcast::ABcast(const GcOptions& opts, const GcEvents& events, SiteId self, View 
     Outbox out;
     {
       auto lock = guard();
-      AppMessage msg{make_msg_id(self_, ++local_seq_), m.as<std::string>(), /*atomic=*/true};
+      AppMessage msg{make_msg_id(self_, epoch_bits(options().id_epoch) | ++local_seq_),
+                     m.as<std::string>(), /*atomic=*/true};
       submitted_.add();
       pending_.emplace(msg.id, msg);
       // Disseminate the payload reliably; ordering happens via consensus.
@@ -52,6 +55,24 @@ ABcast::ABcast(const GcOptions& opts, const GcEvents& events, SiteId self, View 
     auto lock = guard();
     view_ = m.as<View>();
   });
+
+  on_catchup_ = &register_handler("on_catchup", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto floor = m.as<std::uint64_t>();
+      if (floor <= next_instance_) return;  // stale or bootstrap install
+      next_instance_ = floor;
+      frontier_.store(next_instance_, std::memory_order_release);
+      rejoined_ = true;
+      // Anything decided below the floor is pre-join history we must not
+      // replay; anything we thought we proposed is void (fresh slate).
+      decisions_.erase(decisions_.begin(), decisions_.lower_bound(next_instance_));
+      proposed_.clear();
+      maybe_propose(out);
+    }
+    out.flush(ctx);
+  });
 }
 
 void ABcast::maybe_propose(Outbox& out) {
@@ -59,10 +80,21 @@ void ABcast::maybe_propose(Outbox& out) {
   if (proposed_.contains(next_instance_)) return;
   ConsensusValue batch;
   for (const auto& [id, msg] : pending_) {
-    (void)id;
+    if (rejoined_ && msg_origin(id) != self_) continue;  // see rejoined_ in the header
+    char op;
+    SiteId site;
+    if (Membership::decode_op(msg.data, op, site)) {
+      // Membership ops ride in a slot of their own: a joiner's catch-up
+      // floor is "the join op's slot + 1", which loses messages if app
+      // payloads sort after the op inside the same batch. Every proposer
+      // applies this rule, so no decided batch can mix them.
+      if (batch.empty()) batch.push_back(msg);
+      break;
+    }
     batch.push_back(msg);
     if (batch.size() >= options().abcast_batch) break;
   }
+  if (batch.empty()) return;  // rejoined and nothing self-originated pending
   proposed_.insert(next_instance_);
   out.trigger(events_->cs_propose, Message::of(CsPropose{next_instance_, std::move(batch)}));
 }
@@ -78,12 +110,13 @@ void ABcast::apply_ready_decisions(Outbox& out) {
       if (!delivered_ids_.insert(msg.id).second) continue;  // duplicate slot content
       pending_.erase(msg.id);
       delivered_count_.add();
-      out.trigger_all(events_->adeliver, Message::of(msg));
+      out.trigger_all(events_->adeliver, Message::of(ADelivery{msg, next_instance_ + 1}));
     }
     proposed_.erase(next_instance_);
     ++next_instance_;
     it = decisions_.find(next_instance_);
   }
+  frontier_.store(next_instance_, std::memory_order_release);
   maybe_propose(out);
 }
 

@@ -8,6 +8,7 @@
 // until the gap closes.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -27,10 +28,13 @@ class ABcast : public GcMicroprotocol {
   const Handler* on_rdeliver_handler() const { return on_rdeliver_; }
   const Handler* on_decide_handler() const { return on_decide_; }
   const Handler* view_change_handler() const { return view_change_; }
+  const Handler* on_catchup_handler() const { return on_catchup_; }
 
   std::uint64_t submitted() const { return submitted_.value(); }
   std::uint64_t delivered() const { return delivered_count_.value(); }
-  std::uint64_t next_instance() const { return next_instance_; }
+  // Readable without the microprotocol guard (atomic mirror): consensus'
+  // decision pull polls this from its own handler thread.
+  std::uint64_t next_instance() const { return frontier_.load(std::memory_order_acquire); }
 
  private:
   void maybe_propose(Outbox& out);
@@ -43,8 +47,16 @@ class ABcast : public GcMicroprotocol {
   std::map<MsgId, AppMessage> pending_;           // buffered, not yet ordered
   std::unordered_set<MsgId> delivered_ids_;
   std::uint64_t next_instance_ = 1;
+  std::atomic<std::uint64_t> frontier_{1};  // mirror of next_instance_
   std::unordered_set<std::uint64_t> proposed_;    // instances we proposed for
   std::map<std::uint64_t, ConsensusValue> decisions_;  // out-of-order buffer
+  // Set by on_catchup (rejoin): this incarnation only proposes messages it
+  // originated itself. RelCast rebroadcasts can hand a rejoined site
+  // payloads the group already delivered before its join; a fresh
+  // delivered_ids_ cannot recognise them, and proposing one would deliver
+  // it here while every peer dedup-skips it — a virtual-synchrony
+  // violation. Peers that held the message legitimately propose it.
+  bool rejoined_ = false;
   Counter submitted_;
   Counter delivered_count_;
 
@@ -52,6 +64,7 @@ class ABcast : public GcMicroprotocol {
   const Handler* on_rdeliver_ = nullptr;
   const Handler* on_decide_ = nullptr;
   const Handler* view_change_ = nullptr;
+  const Handler* on_catchup_ = nullptr;
 };
 
 }  // namespace samoa::gc

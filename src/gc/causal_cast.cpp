@@ -69,7 +69,9 @@ CausalCast::CausalCast(const GcOptions& opts, const GcEvents& events, SiteId sel
       delivered_.add();
       out.trigger_all(events_->causal_deliver, Message::of(msg.payload));
       // MsgId subspace bit 30 keeps causal ids apart from abcast / rbcast.
-      AppMessage app{make_msg_id(self_, kCausalChannelBit | ++local_seq_), encode(msg),
+      AppMessage app{make_msg_id(self_, kCausalChannelBit | epoch_bits(options().id_epoch) |
+                                            ++local_seq_),
+                     encode(msg),
                      /*atomic=*/false};
       out.trigger(events_->bcast, Message::of(app));
     }

@@ -82,6 +82,25 @@ Consensus::Consensus(const GcOptions& opts, const GcEvents& events, SiteId self,
         inst.last_activity = now;
         try_coordinate(out, i);
       }
+      // Decision pull: the loop above only heals instances we hold a
+      // proposal for. A site that missed a DECIDE *and* has nothing to
+      // propose into the slot (e.g. a rejoined member whose pending
+      // filter withholds foreign payloads) would stall forever, so probe
+      // the frontier instance whenever a later decision proves the group
+      // has moved past it. See set_frontier_source in the header.
+      if (frontier_source_) {
+        const std::uint64_t want = frontier_source_();
+        const auto fit = instances_.find(want);
+        if (fit == instances_.end() || !fit->second.decided) {
+          for (const auto& [i, inst] : instances_) {
+            if (i > want && inst.decided) {
+              decision_pulls_.add();
+              broadcast(out, Wire{CsPrepare{want, 0}});
+              break;
+            }
+          }
+        }
+      }
     }
     out.flush(ctx);
   });
@@ -120,14 +139,16 @@ void Consensus::try_coordinate(Outbox& out, std::uint64_t i) {
 
 void Consensus::handle_prepare(Outbox& out, SiteId from, const CsPrepare& p) {
   Instance& inst = instance(p.instance);
-  inst.last_activity = options().now();
   if (inst.decided) {
-    // Help a lagging coordinator: re-send the decision instead of playing
-    // another round.
+    // Help a lagging coordinator (or answer a round-0 decision pull):
+    // re-send the decision instead of playing another round.
     to(out, from, Wire{CsDecide{p.instance, inst.accepted_value.value_or(ConsensusValue{})}});
     return;
   }
-  if (p.round <= inst.promised) return;  // stale round: ignore (retry recovers)
+  // Stale rounds — including round-0 pull probes — must not count as
+  // activity, or periodic probes would forever suppress the retry timer.
+  if (p.round <= inst.promised) return;
+  inst.last_activity = options().now();
   inst.promised = p.round;
   to(out, from,
      Wire{CsPromise{p.instance, p.round, inst.accepted_round, inst.accepted_value}});

@@ -17,6 +17,7 @@
 // as in Paxos).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -41,6 +42,19 @@ class Consensus : public GcMicroprotocol {
 
   std::uint64_t decided_count() const { return decided_count_.value(); }
   std::uint64_t rounds_started() const { return rounds_started_.value(); }
+  std::uint64_t decision_pulls() const { return decision_pulls_.value(); }
+
+  // Decision pull (gap repair). The ordering layer above reports the
+  // instance it still waits for; if the retry tick finds that instance
+  // undecided here while a *later* one has already decided, the group
+  // moved past us and our copy of the frontier's DECIDE was lost. The
+  // probe is a PREPARE with round 0 — never a real round, so undecided
+  // acceptors ignore it (0 <= promised), while decided sites answer any
+  // prepare with the decision. Wired before the stack spawns; must be
+  // safe to call from the retry handler's thread without our guard.
+  void set_frontier_source(std::function<std::uint64_t()> source) {
+    frontier_source_ = std::move(source);
+  }
 
  private:
   static constexpr std::uint64_t kRoundStride = 1u << 20;
@@ -81,6 +95,8 @@ class Consensus : public GcMicroprotocol {
   std::unordered_map<std::uint64_t, Instance> instances_;
   Counter decided_count_;
   Counter rounds_started_;
+  Counter decision_pulls_;
+  std::function<std::uint64_t()> frontier_source_;
 
   const Handler* propose_ = nullptr;
   const Handler* on_wire_ = nullptr;

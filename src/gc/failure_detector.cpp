@@ -12,7 +12,9 @@ FailureDetector::FailureDetector(const GcOptions& opts, const GcEvents& events, 
     const auto& fw = m.as<FromWire>();
     std::unique_lock snap(snap_mu_);
     last_heard_[fw.from] = options().now();
-    suspected_.erase(fw.from);  // eventually-perfect: revoke on new evidence
+    if (suspected_.erase(fw.from) > 0) {
+      revocations_.add();  // eventually-perfect: revoke on new evidence
+    }
   });
 
   send_heartbeats_ = &register_handler("send_heartbeats",

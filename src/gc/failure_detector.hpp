@@ -27,6 +27,10 @@ class FailureDetector : public GcMicroprotocol {
   const Handler* view_change_handler() const { return view_change_; }
 
   std::uint64_t suspicions() const { return suspicions_.value(); }
+  /// Suspicions withdrawn because a heartbeat arrived again — the
+  /// eventually-perfect detector recovering from a false positive (e.g. a
+  /// partition outlasting fd_timeout, then healing).
+  std::uint64_t suspicion_revocations() const { return revocations_.value(); }
   bool is_suspected(SiteId site);
 
  private:
@@ -36,6 +40,7 @@ class FailureDetector : public GcMicroprotocol {
   std::unordered_map<SiteId, Clock::time_point> last_heard_;
   std::unordered_set<SiteId> suspected_;
   Counter suspicions_;
+  Counter revocations_;
   mutable std::mutex snap_mu_;
 
   const Handler* on_heartbeat_ = nullptr;

@@ -36,6 +36,12 @@ struct GcOptions {
 
   std::chrono::microseconds retransmit_interval{2000};
   std::chrono::microseconds retransmit_timeout{3000};
+  /// Retransmission backoff: a pending entry's timeout doubles after every
+  /// resend up to this cap, with a deterministic jitter (seeded by
+  /// rng_seed) of up to 1/4 of the backed-off timeout added on top, so
+  /// retransmissions to a slow or dead peer thin out instead of hammering
+  /// at a fixed cadence. Set equal to retransmit_timeout to disable.
+  std::chrono::microseconds retransmit_backoff_cap{24000};
   std::chrono::microseconds heartbeat_interval{2000};
   std::chrono::microseconds fd_timeout{10000};
   std::chrono::microseconds cs_retry_interval{5000};
@@ -48,6 +54,18 @@ struct GcOptions {
   /// the J-SAMOA implementation): max unacknowledged messages per peer in
   /// RelComm; further sends are queued until acks free credits. 0 = off.
   std::size_t flow_window = 32;
+
+  /// Seed for protocol-level randomness (currently the retransmission
+  /// jitter). Each microprotocol derives its stream from (rng_seed, site),
+  /// so a fleet sharing one options template still gets distinct streams.
+  std::uint64_t rng_seed = 1;
+
+  /// Incarnation epoch mixed into locally-generated MsgIds (bits 24..27 of
+  /// the per-origin sequence). GroupNode bumps it on every restart so a
+  /// rejoined node's fresh sequence counters can never re-issue an id its
+  /// previous incarnation already used — peers would silently drop the new
+  /// message as a duplicate.
+  std::uint64_t id_epoch = 0;
 
   /// Least-upper-bound used for every microprotocol when policy is
   /// VCAbound (generous over-declaration is legal; too small throws).

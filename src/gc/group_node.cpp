@@ -24,12 +24,16 @@ DeliverSink::DeliverSink(const GcOptions& opts, const GcEvents&)
   });
   on_adeliver_ = &register_handler("on_adeliver", [this](Context&, const Message& m) {
     auto lock = guard();
-    const auto& msg = m.as<AppMessage>();
+    const auto& del = m.as<ADelivery>();
     char op;
     SiteId site;
-    if (Membership::decode_op(msg.data, op, site)) return;  // membership-internal
+    if (Membership::decode_op(del.m.data, op, site)) return;  // membership-internal
     std::unique_lock snap(mu_);
-    adelivered_.push_back(msg);
+    adelivered_.push_back(del.m);
+    if (view_source_) {
+      records_.push_back(verify::DeliveryRecord{del.m.id, view_source_(), del.next_ordinal - 1,
+                                                del.m.data});
+    }
   });
 }
 
@@ -48,21 +52,38 @@ std::vector<std::string> DeliverSink::cdelivered() {
   return cdelivered_;
 }
 
+std::vector<verify::DeliveryRecord> DeliverSink::delivery_records() {
+  std::unique_lock snap(mu_);
+  return records_;
+}
+
 GroupNode::GroupNode(net::SimNetwork& net, GcOptions opts)
     : net_(net), opts_(std::move(opts)), timers_(opts_.clock) {
   self_ = net_.add_site([this](const net::Packet& packet) { on_packet(packet); });
+  build_stack();
+}
 
+void GroupNode::build_stack() {
+  // A Stack seals its bindings on first spawn, so a restart cannot reuse
+  // it: each incarnation composes a brand-new stack — which is also
+  // exactly the crash semantics we want, since every microprotocol comes
+  // back with empty volatile state.
+  stack_ = std::make_unique<Stack>();
   const View empty;
-  transport_ = &stack_.emplace<Transport>(opts_, events_, net_, self_);
-  relcomm_ = &stack_.emplace<RelComm>(opts_, events_, self_, empty);
-  relcast_ = &stack_.emplace<RelCast>(opts_, events_, self_, empty);
-  fd_ = &stack_.emplace<FailureDetector>(opts_, events_, self_, empty);
-  consensus_ = &stack_.emplace<Consensus>(opts_, events_, self_, empty);
-  abcast_ = &stack_.emplace<ABcast>(opts_, events_, self_, empty);
-  causal_ = &stack_.emplace<CausalCast>(opts_, events_, self_, empty);
-  seq_abcast_ = &stack_.emplace<SeqABcast>(opts_, events_, self_, empty);
-  membership_ = &stack_.emplace<Membership>(opts_, events_, self_, empty);
-  sink_ = &stack_.emplace<DeliverSink>(opts_, events_);
+  transport_ = &stack_->emplace<Transport>(opts_, events_, net_, self_);
+  relcomm_ = &stack_->emplace<RelComm>(opts_, events_, self_, empty);
+  relcast_ = &stack_->emplace<RelCast>(opts_, events_, self_, empty);
+  fd_ = &stack_->emplace<FailureDetector>(opts_, events_, self_, empty);
+  consensus_ = &stack_->emplace<Consensus>(opts_, events_, self_, empty);
+  abcast_ = &stack_->emplace<ABcast>(opts_, events_, self_, empty);
+  causal_ = &stack_->emplace<CausalCast>(opts_, events_, self_, empty);
+  seq_abcast_ = &stack_->emplace<SeqABcast>(opts_, events_, self_, empty);
+  membership_ = &stack_->emplace<Membership>(opts_, events_, self_, empty);
+  sink_ = &stack_->emplace<DeliverSink>(opts_, events_);
+
+  // ABcast's frontier mirror is atomic, so consensus may poll it from the
+  // retry tick without taking ABcast's guard (no lock-order coupling).
+  consensus_->set_frontier_source([ab = abcast_] { return ab->next_instance(); });
 
   bind_all();
 
@@ -70,7 +91,7 @@ GroupNode::GroupNode(net::SimNetwork& net, GcOptions opts)
   rt_opts.policy = opts_.policy;
   rt_opts.record_trace = opts_.record_trace;
   rt_opts.clock = opts_.clock;
-  runtime_ = std::make_unique<Runtime>(stack_, rt_opts);
+  runtime_ = std::make_unique<Runtime>(*stack_, rt_opts);
 }
 
 GroupNode::~GroupNode() {
@@ -81,56 +102,61 @@ GroupNode::~GroupNode() {
 
 void GroupNode::bind_all() {
   // External events.
-  stack_.bind(events_.rc_data, *relcomm_->recv_data_handler());
-  stack_.bind(events_.rc_ack, *relcomm_->recv_ack_handler());
-  stack_.bind(events_.fd_heartbeat, *fd_->on_heartbeat_handler());
-  stack_.bind(events_.cs_wire, *consensus_->on_wire_handler());
-  stack_.bind(events_.view_install, *membership_->on_install_handler());
-  stack_.bind(events_.retransmit_tick, *relcomm_->retransmit_handler());
-  stack_.bind(events_.heartbeat_tick, *fd_->send_heartbeats_handler());
-  stack_.bind(events_.fd_check_tick, *fd_->check_handler());
-  stack_.bind(events_.cs_retry_tick, *consensus_->retry_handler());
+  stack_->bind(events_.rc_data, *relcomm_->recv_data_handler());
+  stack_->bind(events_.rc_ack, *relcomm_->recv_ack_handler());
+  stack_->bind(events_.fd_heartbeat, *fd_->on_heartbeat_handler());
+  stack_->bind(events_.cs_wire, *consensus_->on_wire_handler());
+  stack_->bind(events_.view_install, *membership_->on_install_handler());
+  stack_->bind(events_.retransmit_tick, *relcomm_->retransmit_handler());
+  stack_->bind(events_.heartbeat_tick, *fd_->send_heartbeats_handler());
+  stack_->bind(events_.fd_check_tick, *fd_->check_handler());
+  stack_->bind(events_.cs_retry_tick, *consensus_->retry_handler());
   if (opts_.abcast_impl == ABcastImpl::kConsensus) {
-    stack_.bind(events_.api_abcast, *abcast_->submit_handler());
+    stack_->bind(events_.api_abcast, *abcast_->submit_handler());
   } else {
-    stack_.bind(events_.api_abcast, *seq_abcast_->submit_handler());
+    stack_->bind(events_.api_abcast, *seq_abcast_->submit_handler());
   }
-  stack_.bind(events_.api_rbcast, *relcast_->bcast_handler());
-  stack_.bind(events_.api_ccast, *causal_->submit_handler());
-  stack_.bind(events_.api_joinleave, *membership_->joinleave_handler());
+  stack_->bind(events_.api_rbcast, *relcast_->bcast_handler());
+  stack_->bind(events_.api_ccast, *causal_->submit_handler());
+  stack_->bind(events_.api_joinleave, *membership_->joinleave_handler());
 
   // Internal plumbing.
-  stack_.bind(events_.send_out, *relcomm_->send_handler());
-  stack_.bind(events_.from_rcomm, *relcast_->recv_handler());
-  stack_.bind(events_.bcast, *relcast_->bcast_handler());
-  stack_.bind(events_.deliver_out, *abcast_->on_rdeliver_handler());
+  stack_->bind(events_.send_out, *relcomm_->send_handler());
+  stack_->bind(events_.from_rcomm, *relcast_->recv_handler());
+  stack_->bind(events_.bcast, *relcast_->bcast_handler());
+  stack_->bind(events_.deliver_out, *abcast_->on_rdeliver_handler());
   if (opts_.abcast_impl == ABcastImpl::kSequencer) {
-    stack_.bind(events_.deliver_out, *seq_abcast_->on_rdeliver_handler());
+    stack_->bind(events_.deliver_out, *seq_abcast_->on_rdeliver_handler());
   }
-  stack_.bind(events_.deliver_out, *causal_->on_rdeliver_handler());
-  stack_.bind(events_.deliver_out, *sink_->on_rdeliver_handler());
-  stack_.bind(events_.adeliver, *membership_->on_adeliver_handler());
-  stack_.bind(events_.adeliver, *sink_->on_adeliver_handler());
-  stack_.bind(events_.causal_deliver, *sink_->on_cdeliver_handler());
+  stack_->bind(events_.deliver_out, *causal_->on_rdeliver_handler());
+  stack_->bind(events_.deliver_out, *sink_->on_rdeliver_handler());
+  stack_->bind(events_.adeliver, *membership_->on_adeliver_handler());
+  stack_->bind(events_.adeliver, *sink_->on_adeliver_handler());
+  stack_->bind(events_.causal_deliver, *sink_->on_cdeliver_handler());
   // ViewChange binding order is load-bearing for the Section 3 experiment:
   // RelCast adopts the new view first, RelComm (optionally delayed) last —
   // exactly the window in which an unsynchronised message computation sees
   // inconsistent views.
-  stack_.bind(events_.view_change, *relcast_->view_change_handler());
-  stack_.bind(events_.view_change, *relcomm_->view_change_handler());
-  stack_.bind(events_.view_change, *fd_->view_change_handler());
-  stack_.bind(events_.view_change, *consensus_->view_change_handler());
-  stack_.bind(events_.view_change, *abcast_->view_change_handler());
-  stack_.bind(events_.view_change, *causal_->view_change_handler());
-  stack_.bind(events_.view_change, *seq_abcast_->view_change_handler());
-  stack_.bind(events_.suspect, *consensus_->on_suspect_handler());
-  stack_.bind(events_.cs_propose, *consensus_->propose_handler());
-  stack_.bind(events_.cs_decided, *abcast_->on_decide_handler());
+  stack_->bind(events_.view_change, *relcast_->view_change_handler());
+  stack_->bind(events_.view_change, *relcomm_->view_change_handler());
+  stack_->bind(events_.view_change, *fd_->view_change_handler());
+  stack_->bind(events_.view_change, *consensus_->view_change_handler());
+  stack_->bind(events_.view_change, *abcast_->view_change_handler());
+  stack_->bind(events_.view_change, *causal_->view_change_handler());
+  stack_->bind(events_.view_change, *seq_abcast_->view_change_handler());
+  stack_->bind(events_.suspect, *consensus_->on_suspect_handler());
+  stack_->bind(events_.cs_propose, *consensus_->propose_handler());
+  stack_->bind(events_.cs_decided, *abcast_->on_decide_handler());
   // Membership ops always order through the consensus implementation (see
   // events.hpp); under the sequencer impl the consensus ABcast still needs
   // its dissemination input, so bind its rdeliver tap unconditionally.
-  stack_.bind(events_.membership_abcast, *abcast_->submit_handler());
-  stack_.bind(events_.transport_send, *transport_->send_handler());
+  stack_->bind(events_.membership_abcast, *abcast_->submit_handler());
+  stack_->bind(events_.abcast_catchup, *abcast_->on_catchup_handler());
+  stack_->bind(events_.seq_catchup, *seq_abcast_->on_catchup_handler());
+  stack_->bind(events_.transport_send, *transport_->send_handler());
+
+  membership_->set_order_floor_source([sa = seq_abcast_] { return sa->order_floor(); });
+  sink_->set_view_source([mb = membership_] { return mb->view_snapshot().id(); });
 }
 
 Isolation GroupNode::spec(EventClass klass) const {
@@ -245,6 +271,10 @@ void GroupNode::start(View initial_view) {
   const FromWire fw{self_, Wire{ViewInstall{initial_view.id(), initial_view.members()}}};
   spawn(EventClass::kViewInstall, events_.view_install, Message::of(fw)).wait();
 
+  arm_timers();
+}
+
+void GroupNode::arm_timers() {
   timers_.schedule_periodic(opts_.retransmit_interval, [this] {
     if (crashed_.load(std::memory_order_acquire)) return;
     spawn(EventClass::kRetransmitTick, events_.retransmit_tick, Message{});
@@ -269,10 +299,88 @@ void GroupNode::crash() {
   net_.crash(self_);
 }
 
+void GroupNode::archive_incarnation() {
+  IncarnationArchive arc;
+  arc.records = sink_->delivery_records();
+  arc.adelivered = sink_->adelivered();
+  arc.views = membership_->installed_views();
+  arc.retransmissions = relcomm_->retransmissions();
+  arc.view_change_drops = relcomm_->view_change_drops();
+  arc.joins_completed = membership_->joins_completed();
+  std::unique_lock lock(archive_mu_);
+  archives_.push_back(std::move(arc));
+}
+
+void GroupNode::restart() {
+  if (!started_.load(std::memory_order_acquire)) {
+    throw ConfigError("GroupNode::restart: node was never started");
+  }
+  if (!crashed_.load(std::memory_order_acquire)) {
+    throw ConfigError("GroupNode::restart: node is not crashed");
+  }
+  // crash() already cancelled the timers and marked the site crashed;
+  // detach additionally waits out any delivery callback still executing,
+  // so after drain() nothing can reach the old stack any more.
+  net_.detach(self_);
+  runtime_->drain();
+  archive_incarnation();
+  runtime_.reset();  // destroy the runtime before the stack it runs on
+  ++opts_.id_epoch;  // new incarnation: fresh MsgId subspace (see wire.hpp)
+  rb_seq_.store(0, std::memory_order_relaxed);
+  build_stack();
+  net_.attach(self_, [this](const net::Packet& packet) { on_packet(packet); });
+  crashed_.store(false, std::memory_order_release);
+  net_.recover(self_);
+  arm_timers();
+}
+
+std::vector<GroupNode::IncarnationArchive> GroupNode::archives() const {
+  std::unique_lock lock(archive_mu_);
+  return archives_;
+}
+
+std::uint64_t GroupNode::rejoins_completed() const {
+  std::uint64_t total = membership_->joins_completed();
+  std::unique_lock lock(archive_mu_);
+  for (const auto& arc : archives_) total += arc.joins_completed;
+  return total;
+}
+
+std::uint64_t GroupNode::total_retransmissions() const {
+  std::uint64_t total = relcomm_->retransmissions();
+  std::unique_lock lock(archive_mu_);
+  for (const auto& arc : archives_) total += arc.retransmissions;
+  return total;
+}
+
+std::vector<verify::IncarnationTrace> GroupNode::vs_traces() const {
+  std::vector<verify::IncarnationTrace> traces;
+  {
+    std::unique_lock lock(archive_mu_);
+    for (std::size_t i = 0; i < archives_.size(); ++i) {
+      verify::IncarnationTrace t;
+      t.site = self_;
+      t.incarnation = i;
+      t.crashed = true;  // only restart() archives, and it requires a crash
+      t.deliveries = archives_[i].records;
+      t.views = archives_[i].views;
+      traces.push_back(std::move(t));
+    }
+  }
+  verify::IncarnationTrace cur;
+  cur.site = self_;
+  cur.incarnation = opts_.id_epoch;
+  cur.crashed = crashed_.load(std::memory_order_acquire);
+  cur.deliveries = sink_->delivery_records();
+  cur.views = membership_->installed_views();
+  traces.push_back(std::move(cur));
+  return traces;
+}
+
 ComputationHandle GroupNode::rbcast(std::string data) {
   // Plain reliable broadcasts draw ids from a separate subspace (high bit
   // of the per-origin sequence) so they never collide with ABcast ids.
-  const std::uint64_t seq = kPlainChannelBit | ++rb_seq_;
+  const std::uint64_t seq = kPlainChannelBit | epoch_bits(opts_.id_epoch) | ++rb_seq_;
   AppMessage msg{make_msg_id(self_, seq), std::move(data), /*atomic=*/false};
   return spawn(EventClass::kApiRbcast, events_.api_rbcast, Message::of(msg));
 }

@@ -12,7 +12,9 @@
 // argument carries over to the distributed setting unchanged.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "gc/transport.hpp"
 #include "net/sim_network.hpp"
 #include "net/timer_service.hpp"
+#include "verify/vs_checker.hpp"
 
 namespace samoa::gc {
 
@@ -49,11 +52,22 @@ class DeliverSink : public GcMicroprotocol {
   /// Causal-broadcast deliveries, in causal order.
   std::vector<std::string> cdelivered();
 
+  /// Provider of the current view id stamped on delivery records (wired
+  /// by GroupNode to the membership view; unset disables recording).
+  void set_view_source(std::function<std::uint64_t()> source) {
+    view_source_ = std::move(source);
+  }
+  /// Atomic deliveries annotated with view + ordinal, for the
+  /// virtual-synchrony checker.
+  std::vector<verify::DeliveryRecord> delivery_records();
+
  private:
   mutable std::mutex mu_;
   std::vector<AppMessage> rdelivered_;
   std::vector<AppMessage> adelivered_;
   std::vector<std::string> cdelivered_;
+  std::vector<verify::DeliveryRecord> records_;
+  std::function<std::uint64_t()> view_source_;
   const Handler* on_rdeliver_ = nullptr;
   const Handler* on_adeliver_ = nullptr;
   const Handler* on_cdeliver_ = nullptr;
@@ -76,6 +90,41 @@ class GroupNode {
 
   /// Stop timers and detach from the network (simulated crash).
   void crash();
+
+  /// Restart a crashed node as a fresh incarnation: the previous
+  /// incarnation's trace is archived, every microprotocol is rebuilt from
+  /// scratch (volatile state wiped — a crash loses everything), the
+  /// MsgId epoch is bumped, and the site re-attaches to the network with
+  /// timers re-armed. The node is NOT a group member afterwards: a current
+  /// member must `request_join(id())` so the membership/state-transfer
+  /// path installs a view (with ordering catch-up floors) on it.
+  void restart();
+
+  /// One finished lifetime of this node (archived by restart()).
+  struct IncarnationArchive {
+    std::vector<verify::DeliveryRecord> records;
+    std::vector<AppMessage> adelivered;
+    std::vector<View> views;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t view_change_drops = 0;
+    std::uint64_t joins_completed = 0;
+  };
+  std::vector<IncarnationArchive> archives() const;
+
+  /// Incarnation number of the current lifetime (0 before any restart).
+  std::uint64_t incarnation() const { return opts_.id_epoch; }
+
+  /// Joins completed through the ViewInstall state-transfer path, summed
+  /// over all incarnations — for a node started in the initial view this
+  /// counts exactly its completed re-joins after crashes.
+  std::uint64_t rejoins_completed() const;
+
+  /// Retransmissions summed over all incarnations.
+  std::uint64_t total_retransmissions() const;
+
+  /// Every lifetime of this node as checker input: all archived
+  /// incarnations (ended by a crash) plus the current one.
+  std::vector<verify::IncarnationTrace> vs_traces() const;
 
   // --- Application API (each call is one external event) ---
   ComputationHandle rbcast(std::string data);
@@ -128,14 +177,17 @@ class GroupNode {
   Isolation spec(EventClass klass) const;
   ComputationHandle spawn(EventClass klass, const EventType& ev, Message msg);
   void on_packet(const net::Packet& packet);
+  void build_stack();
   void bind_all();
+  void arm_timers();
+  void archive_incarnation();
 
   net::SimNetwork& net_;
   GcOptions opts_;
   GcEvents events_;
   SiteId self_;
 
-  Stack stack_;
+  std::unique_ptr<Stack> stack_;
   Transport* transport_ = nullptr;
   RelComm* relcomm_ = nullptr;
   RelCast* relcast_ = nullptr;
@@ -152,6 +204,8 @@ class GroupNode {
   std::atomic<bool> started_{false};
   std::atomic<bool> crashed_{false};
   std::atomic<std::uint64_t> rb_seq_{0};
+  std::vector<IncarnationArchive> archives_;
+  mutable std::mutex archive_mu_;
 };
 
 }  // namespace samoa::gc

@@ -48,19 +48,24 @@ Membership::Membership(const GcOptions& opts, const GcEvents& events, SiteId sel
     Outbox out;
     {
       auto lock = guard();
-      const auto& msg = m.as<AppMessage>();
+      const auto& del = m.as<ADelivery>();
       char op;
       SiteId site;
-      if (!decode_op(msg.data, op, site)) return;  // ordinary application message
+      if (!decode_op(del.m.data, op, site)) return;  // ordinary application message
       const View old_view = view_;
       const View next = op == '+' ? view_.with(site) : view_.without(site);
       install(out, next);
-      if (op == '+' && !old_view.members().empty() && old_view.members().front() == self_) {
-        // Lowest-id member of the previous view ships the new view to the
-        // joining site (state-transfer shortcut).
+      if (op == '+' && old_view.contains(self_)) {
+        // Every member of the previous view ships the new view plus the
+        // ordering catch-up floors to the joining site (state-transfer
+        // shortcut). The install travels over the raw transport, so the
+        // redundancy is the loss protection; del.next_ordinal — the slot
+        // after the one that ordered this very join op — is identical at
+        // every member, so the duplicates agree.
         out.trigger(events_->transport_send,
                     Message::of(TransportSend{
-                        site, Wire{ViewInstall{next.id(), next.members()}}}));
+                        site, Wire{ViewInstall{next.id(), next.members(), del.next_ordinal,
+                                               order_floor_ ? order_floor_() : 0}}}));
       }
     }
     out.flush(ctx);
@@ -73,8 +78,20 @@ Membership::Membership(const GcOptions& opts, const GcEvents& events, SiteId sel
       const auto& fw = m.as<FromWire>();
       const auto& vi = std::get<ViewInstall>(fw.wire);
       const View next(vi.view_id, vi.members);
-      if (next.id() <= view_.id()) return;  // stale install
-      install(out, next);
+      if (next.id() < view_.id()) return;  // stale install
+      if (next.id() > view_.id()) {
+        install(out, next);
+        if (vi.next_instance > 0) joins_completed_.add();
+      }
+      // Catch-up floors are forwarded even when the view itself is a
+      // duplicate: the ordering layers max-merge, and for the sequencer
+      // floor only the (unknown) sequencer's copy is authoritative.
+      if (vi.next_instance > 0) {
+        out.trigger(events_->abcast_catchup, Message::of(vi.next_instance));
+      }
+      if (vi.next_seq > 0) {
+        out.trigger(events_->seq_catchup, Message::of(vi.next_seq));
+      }
     }
     out.flush(ctx);
   });

@@ -7,16 +7,23 @@
 // View operations travel through atomic broadcast, so every member applies
 // them in the same order and all local views stay consistent. A site being
 // joined receives the freshly-installed view directly (ViewInstall) from
-// the lowest-id member of the previous view — the state-transfer shortcut
-// documented in DESIGN.md.
+// every member of the previous view — redundant on purpose, since the
+// install travels over the raw transport (no retransmission) and a lost
+// install would strand the joiner. The install carries the ordering
+// catch-up floors (see ViewInstall in wire.hpp); duplicates are harmless
+// because the floors are max-merged and same-id installs are not
+// re-installed. This is the state-transfer shortcut documented in
+// DESIGN.md.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "gc/events.hpp"
 #include "gc/gc_mp.hpp"
 #include "gc/view.hpp"
+#include "util/stats.hpp"
 
 namespace samoa::gc {
 
@@ -36,6 +43,18 @@ class Membership : public GcMicroprotocol {
   View view_snapshot();
   std::vector<View> installed_views();
 
+  /// Provider of the sequencer-abcast order floor shipped in ViewInstall
+  /// (wired by GroupNode to SeqABcast::order_floor). Unset means 0.
+  void set_order_floor_source(std::function<std::uint64_t()> source) {
+    order_floor_ = std::move(source);
+  }
+
+  /// Joins completed via a received ViewInstall carrying catch-up floors —
+  /// i.e. this incarnation entered an existing group through the
+  /// state-transfer path (the bootstrap install of view 1 has no floors
+  /// and does not count).
+  std::uint64_t joins_completed() const { return joins_completed_.value(); }
+
  private:
   void install(Outbox& out, const View& next);
 
@@ -43,6 +62,8 @@ class Membership : public GcMicroprotocol {
   SiteId self_;
   View view_;
   std::vector<View> history_;
+  std::function<std::uint64_t()> order_floor_;
+  Counter joins_completed_;
   mutable std::mutex snap_mu_;
 
   const Handler* joinleave_ = nullptr;

@@ -8,7 +8,8 @@ RelComm::RelComm(const GcOptions& opts, const GcEvents& events, SiteId self, Vie
     : GcMicroprotocol("relcomm", opts),
       events_(&events),
       self_(self),
-      view_(std::move(initial_view)) {
+      view_(std::move(initial_view)),
+      rng_(opts.rng_seed ^ (0x9e3779b97f4a7c15ull * (self.value() + 1))) {
   send_ = &register_handler("send", [this](Context& ctx, const Message& m) {
     Outbox out;
     {
@@ -85,14 +86,30 @@ RelComm::RelComm(const GcOptions& opts, const GcEvents& events, SiteId self, Vie
       for (auto it = unacked_.begin(); it != unacked_.end();) {
         Pending& p = it->second;
         if (!view_.contains(p.target)) {
+          // Defence in depth: gc_evicted_peers() already dropped these at
+          // the view change; anything racing in since counts the same way.
           --in_flight_[p.target];
           unacked_count_.fetch_sub(1, std::memory_order_relaxed);
+          view_change_drops_.add();
           it = unacked_.erase(it);  // target evicted: give up
           continue;
         }
-        if (now - p.last_sent >= options().retransmit_timeout) {
+        if (now - p.last_sent >= p.rto) {
           p.last_sent = now;
           retransmissions_.add();
+          {
+            std::unique_lock snap(snap_mu_);
+            ++retrans_to_[p.target];
+          }
+          // Capped exponential backoff with deterministic jitter: the next
+          // deadline doubles (cap clamps the doubling, so compounded jitter
+          // cannot drift past cap + cap/4) plus up to 1/4 extra so a fleet
+          // of pendings to the same peer de-synchronises.
+          auto next = p.rto * 2;
+          if (next > options().retransmit_backoff_cap) next = options().retransmit_backoff_cap;
+          if (next < options().retransmit_timeout) next = options().retransmit_timeout;
+          p.rto = next + std::chrono::microseconds(rng_.next_below(
+                             static_cast<std::uint64_t>(next.count() / 4) + 1));
           out.trigger(events_->transport_send,
                       Message::of(TransportSend{p.target, Wire{p.data}}));
         }
@@ -110,14 +127,54 @@ RelComm::RelComm(const GcOptions& opts, const GcEvents& events, SiteId self, Vie
     // the whole computation is isolated and the placement is irrelevant.
     if (options().view_change_delay.count() > 0) spin_for(options().view_change_delay);
     auto lock = guard();
-    std::unique_lock snap(snap_mu_);
-    view_ = m.as<View>();
+    {
+      std::unique_lock snap(snap_mu_);
+      view_ = m.as<View>();
+    }
+    // Per-peer state for anyone evicted from the view is dead weight at
+    // best (retransmissions to a crashed site would otherwise run forever)
+    // and poison at worst (a stale dedup set would silently swallow a
+    // rejoined incarnation's fresh sequence numbers).
+    gc_evicted_peers();
   });
+}
+
+void RelComm::gc_evicted_peers() {
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    const Pending& p = it->second;
+    if (view_.contains(p.target)) {
+      ++it;
+      continue;
+    }
+    --in_flight_[p.target];
+    unacked_count_.fetch_sub(1, std::memory_order_relaxed);
+    view_change_drops_.add();
+    it = unacked_.erase(it);
+  }
+  const auto evicted = [this](SiteId s) { return !view_.contains(s); };
+  for (auto it = backlog_.begin(); it != backlog_.end();) {
+    if (evicted(it->first)) {
+      view_change_drops_.add(it->second.size());
+      it = backlog_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Dedup sets and sequence counters go too: Membership evicts a crashed
+  // site before it can rejoin, so clearing here guarantees both sides of a
+  // future re-join start from fresh sequence state. retrans_to_ survives
+  // on purpose — it is a statistic, and tests sample it after eviction.
+  for (auto it = seen_.begin(); it != seen_.end();)
+    it = evicted(it->first) ? seen_.erase(it) : std::next(it);
+  for (auto it = out_seq_.begin(); it != out_seq_.end();)
+    it = evicted(it->first) ? out_seq_.erase(it) : std::next(it);
+  for (auto it = in_flight_.begin(); it != in_flight_.end();)
+    it = evicted(it->first) ? in_flight_.erase(it) : std::next(it);
 }
 
 void RelComm::dispatch_send(Outbox& out, const AppMessage& m, SiteId target) {
   const std::uint64_t seq = ++out_seq_[target];
-  Pending p{RcData{seq, m}, target, options().now()};
+  Pending p{RcData{seq, m}, target, options().now(), options().retransmit_timeout};
   unacked_.emplace(std::make_pair(target, seq), p);
   unacked_count_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t now_in_flight = ++in_flight_[target];
@@ -130,6 +187,12 @@ void RelComm::dispatch_send(Outbox& out, const AppMessage& m, SiteId target) {
 View RelComm::view_snapshot() {
   std::unique_lock snap(snap_mu_);
   return view_;
+}
+
+std::uint64_t RelComm::retransmissions_to(SiteId peer) const {
+  std::unique_lock snap(snap_mu_);
+  auto it = retrans_to_.find(peer);
+  return it == retrans_to_.end() ? 0 : it->second;
 }
 
 std::uint64_t RelComm::unacked_in_flight() const {

@@ -5,11 +5,19 @@
 //   handler viewChange (new_view): view = new_view;
 //
 // "Try to send" is implemented with per-peer sequence numbers,
-// acknowledgements, and timer-driven retransmission; duplicate suppression
-// keeps at-most-once delivery to the upper layers. Messages to targets
-// outside the current view are silently discarded — the behaviour at the
-// heart of the Section 3 consistency problem — and counted so experiments
-// can observe exactly when the race bites.
+// acknowledgements, and timer-driven retransmission with capped
+// exponential backoff (deterministically jittered from the seeded Rng);
+// duplicate suppression keeps at-most-once delivery to the upper layers.
+// Messages to targets outside the current view are silently discarded —
+// the behaviour at the heart of the Section 3 consistency problem — and
+// counted so experiments can observe exactly when the race bites.
+//
+// Crash-recovery hygiene: the viewChange handler garbage-collects every
+// per-peer structure (unacked entries, flow-control backlog, dedup sets,
+// sequence counters) for peers evicted from the view, so retransmissions
+// to a dead peer stop at the view change instead of running forever, and
+// a later re-join of the same site starts from clean sequence state on
+// both sides.
 #pragma once
 
 #include <atomic>
@@ -21,6 +29,7 @@
 #include "gc/events.hpp"
 #include "gc/gc_mp.hpp"
 #include "gc/view.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace samoa::gc {
@@ -40,6 +49,12 @@ class RelComm : public GcMicroprotocol {
   std::uint64_t discarded_out_of_view() const { return discarded_out_of_view_.value(); }
   std::uint64_t discarded_unknown_sender() const { return discarded_unknown_sender_.value(); }
   std::uint64_t retransmissions() const { return retransmissions_.value(); }
+  /// Retransmissions addressed to one specific peer — lets a chaos test
+  /// assert that the counter stops growing once the peer left the view.
+  std::uint64_t retransmissions_to(SiteId peer) const;
+  /// Unacked/backlog entries dropped (and per-peer state wiped) because
+  /// their target was evicted from the view.
+  std::uint64_t view_change_drops() const { return view_change_drops_.value(); }
   std::uint64_t unacked_in_flight() const;
   /// Flow control introspection: sends deferred for lack of credits, and
   /// the peak per-peer in-flight count ever observed.
@@ -52,21 +67,28 @@ class RelComm : public GcMicroprotocol {
     RcData data;
     SiteId target;
     Clock::time_point last_sent;
+    std::chrono::microseconds rto{0};  // current (backed-off) timeout
   };
 
   void dispatch_send(Outbox& out, const AppMessage& m, SiteId target);
+  /// Drop per-peer state for every peer outside `view_`; counts into
+  /// view_change_drops_. Call with the guard held.
+  void gc_evicted_peers();
 
   const GcEvents* events_ = nullptr;
   SiteId self_;
   View view_;
+  Rng rng_;  // retransmission jitter; draws only inside handlers
   std::unordered_map<SiteId, std::uint64_t> out_seq_;
   std::map<std::pair<SiteId, std::uint64_t>, Pending> unacked_;  // (target, seq)
   std::unordered_map<SiteId, std::uint64_t> in_flight_;          // per-peer unacked count
   std::unordered_map<SiteId, std::deque<AppMessage>> backlog_;   // waiting for credits
   std::unordered_map<SiteId, std::set<std::uint64_t>> seen_;     // per-sender dedup
+  std::unordered_map<SiteId, std::uint64_t> retrans_to_;  // per-peer retransmissions
   Counter discarded_out_of_view_;
   Counter discarded_unknown_sender_;
   Counter retransmissions_;
+  Counter view_change_drops_;
   Counter flow_deferred_;
   std::atomic<std::uint64_t> peak_in_flight_{0};
   std::atomic<std::uint64_t> unacked_count_{0};  // mirror of unacked_.size() for cross-thread reads

@@ -49,7 +49,9 @@ SeqABcast::SeqABcast(const GcOptions& opts, const GcEvents& events, SiteId self,
     {
       auto lock = guard();
       // MsgId subspace bit 29 keeps sequencer-abcast ids distinct.
-      AppMessage msg{make_msg_id(self_, kSeqChannelBit | ++local_seq_), m.as<std::string>(),
+      AppMessage msg{make_msg_id(self_, kSeqChannelBit | epoch_bits(options().id_epoch) |
+                                            ++local_seq_),
+                     m.as<std::string>(),
                      /*atomic=*/true};
       pending_.emplace(msg.id, msg);
       out.trigger(events_->bcast, Message::of(msg));
@@ -73,7 +75,10 @@ SeqABcast::SeqABcast(const GcOptions& opts, const GcEvents& events, SiteId self,
             !order_.contains(seq)) {
           ordered_ids_.insert(id);
           order_.emplace(seq, id);
-          if (seq >= next_assign_) next_assign_ = seq + 1;  // takeover bookkeeping
+          if (seq >= next_assign_) {
+            next_assign_ = seq + 1;  // takeover bookkeeping
+            assign_mirror_.store(next_assign_, std::memory_order_relaxed);
+          }
           maybe_deliver(out);
         }
       } else if (msg.atomic && in_channel(msg.id, kSeqChannelBit) &&
@@ -100,6 +105,26 @@ SeqABcast::SeqABcast(const GcOptions& opts, const GcEvents& events, SiteId self,
     }
     out.flush(ctx);
   });
+
+  on_catchup_ = &register_handler("on_catchup", [this](Context& ctx, const Message& m) {
+    Outbox out;
+    {
+      auto lock = guard();
+      const auto floor = m.as<std::uint64_t>();
+      if (floor <= next_deliver_) return;  // stale or bootstrap install
+      // Fast-forward past the order history this rejoined incarnation will
+      // never receive (announcements are not retransmitted to new
+      // members). Anything already buffered below the floor is pre-join.
+      next_deliver_ = floor;
+      if (floor > next_assign_) {
+        next_assign_ = floor;
+        assign_mirror_.store(next_assign_, std::memory_order_relaxed);
+      }
+      order_.erase(order_.begin(), order_.lower_bound(next_deliver_));
+      maybe_deliver(out);
+    }
+    out.flush(ctx);
+  });
 }
 
 bool SeqABcast::is_sequencer() const {
@@ -113,13 +138,18 @@ void SeqABcast::maybe_sequence(Outbox& out) {
     (void)msg;
     if (ordered_ids_.contains(id)) continue;
     const std::uint64_t seq = next_assign_++;
+    assign_mirror_.store(next_assign_, std::memory_order_relaxed);
     ordered_ids_.insert(id);
     order_.emplace(seq, id);
     sequenced_.add();
     // Announce through RelCast so the mapping reaches every member
     // reliably (announcements are non-atomic payloads with a magic tag).
-    AppMessage announce{make_msg_id(self_, kSeqOrderChannelBit | seq), encode_order(id, seq),
-                        /*atomic=*/false};
+    // The epoch keeps a restarted takeover sequencer's announcement ids
+    // distinct from its previous incarnation's (RelCast dedups by id).
+    AppMessage announce{
+        make_msg_id(self_, kSeqOrderChannelBit | epoch_bits(options().id_epoch) | seq),
+        encode_order(id, seq),
+        /*atomic=*/false};
     out.trigger(events_->bcast, Message::of(announce));
   }
   maybe_deliver(out);
@@ -136,7 +166,7 @@ void SeqABcast::maybe_deliver(Outbox& out) {
     delivered_ids_.insert(msg.id);
     ++next_deliver_;
     delivered_.add();
-    out.trigger_all(events_->adeliver, Message::of(msg));
+    out.trigger_all(events_->adeliver, Message::of(ADelivery{msg, next_deliver_}));
   }
 }
 

@@ -22,6 +22,7 @@
 // whereas consensus itself only ever needs a live majority.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -41,10 +42,17 @@ class SeqABcast : public GcMicroprotocol {
   const Handler* submit_handler() const { return submit_; }
   const Handler* on_rdeliver_handler() const { return on_rdeliver_; }
   const Handler* view_change_handler() const { return view_change_; }
+  const Handler* on_catchup_handler() const { return on_catchup_; }
 
   std::uint64_t delivered() const { return delivered_.value(); }
   std::uint64_t sequenced() const { return sequenced_.value(); }
   bool is_sequencer() const;
+
+  /// Highest next-seq this site has observed (assignment counter at the
+  /// sequencer, takeover bookkeeping elsewhere) — Membership ships it as
+  /// the ViewInstall catch-up floor. The sequencer's own value is
+  /// authoritative; the joiner max-merges across received installs.
+  std::uint64_t order_floor() const { return assign_mirror_.load(std::memory_order_relaxed); }
 
   /// Order announcements travel as magic-prefixed RelCast payloads; the
   /// delivery sink uses this to filter them from application lists.
@@ -68,11 +76,13 @@ class SeqABcast : public GcMicroprotocol {
   std::unordered_set<MsgId> delivered_ids_;
   Counter delivered_;
   Counter sequenced_;
+  std::atomic<std::uint64_t> assign_mirror_{1};  // cross-thread copy of next_assign_
   mutable std::mutex snap_mu_;
 
   const Handler* submit_ = nullptr;
   const Handler* on_rdeliver_ = nullptr;
   const Handler* view_change_ = nullptr;
+  const Handler* on_catchup_ = nullptr;
 };
 
 }  // namespace samoa::gc

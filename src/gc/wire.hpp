@@ -36,6 +36,13 @@ constexpr std::uint64_t kSeqOrderChannelBit = 1ull << 28;  // sequencer announce
 constexpr std::uint64_t kCausalChannelBit = 1ull << 30;  // causal broadcasts
 constexpr std::uint64_t kPlainChannelBit = 1ull << 31;   // plain reliable broadcasts
 
+/// Incarnation epoch, bits 24..27 of the per-origin sequence. A restarted
+/// site wipes its volatile sequence counters; without the epoch its fresh
+/// counters would re-issue MsgIds its previous incarnation already used
+/// and every peer's dedup sets would silently swallow the new messages.
+/// 24 bits of per-channel sequence remain — plenty for any simulated run.
+inline constexpr std::uint64_t epoch_bits(std::uint64_t epoch) { return (epoch & 0xFull) << 24; }
+
 inline bool in_channel(MsgId id, std::uint64_t bit) { return (id & bit) != 0; }
 /// Consensus-ABcast messages use no channel bit (plain low sequence).
 inline bool is_consensus_channel(MsgId id) {
@@ -100,10 +107,17 @@ struct CsDecide {
 // --- Membership ---
 /// Direct view installation for a site joining the group (the state-
 /// transfer shortcut: the paper's system does a full ST protocol, we ship
-/// the view only — the preserved behaviour is the ViewChange cascade).
+/// the view plus ordering floors — the preserved behaviour is the
+/// ViewChange cascade). The floors make a REJOIN a consistent
+/// continuation: the joiner starts delivering at the consensus slot /
+/// sequencer number right after the one that ordered its own join, so its
+/// trace neither replays history nor skips messages ordered in its view.
+/// Zero floors mean "no catch-up" (the bootstrap install of view 1).
 struct ViewInstall {
   std::uint64_t view_id = 0;
   std::vector<SiteId> members;
+  std::uint64_t next_instance = 0;  // consensus ABcast: first slot to apply
+  std::uint64_t next_seq = 0;       // sequencer ABcast: first seq to deliver
 };
 
 using Wire = std::variant<RcData, RcAck, FdHeartbeat, CsPrepare, CsPromise, CsAccept, CsAccepted,

@@ -137,6 +137,8 @@ std::vector<std::uint8_t> encode_wire(SiteId from, const gc::Wire& wire) {
           w.put_varint(msg.view_id);
           w.put_varint(msg.members.size());
           for (SiteId s : msg.members) w.put_varint(s.value());
+          w.put_varint(msg.next_instance);
+          w.put_varint(msg.next_seq);
         }
       },
       wire);
@@ -215,6 +217,8 @@ gc::FromWire decode_wire(const std::vector<std::uint8_t>& bytes) {
       for (std::uint64_t i = 0; i < n; ++i) {
         m.members.push_back(SiteId(static_cast<SiteId::value_type>(r.get_varint())));
       }
+      m.next_instance = r.get_varint();
+      m.next_seq = r.get_varint();
       fw.wire = m;
       break;
     }

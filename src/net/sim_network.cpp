@@ -94,6 +94,27 @@ bool SimNetwork::crashed(SiteId site) const {
   return crashed_.contains(site);
 }
 
+void SimNetwork::recover(SiteId site) {
+  std::unique_lock lock(mu_);
+  if (crashed_.erase(site) > 0) stats_.recoveries.add();
+}
+
+void SimNetwork::attach(SiteId site, DeliveryFn deliver) {
+  std::unique_lock lock(mu_);
+  if (site.value() >= sites_.size()) return;  // unknown site: ignore
+  sites_[site.value()] = std::move(deliver);
+}
+
+LinkOptions SimNetwork::defaults() const {
+  std::unique_lock lock(mu_);
+  return defaults_;
+}
+
+void SimNetwork::set_defaults(LinkOptions defaults) {
+  std::unique_lock lock(mu_);
+  defaults_ = defaults;
+}
+
 void SimNetwork::detach(SiteId site) {
   std::unique_lock lock(mu_);
   crashed_.insert(site);

@@ -81,10 +81,28 @@ class SimNetwork {
   void crash(SiteId site);
   bool crashed(SiteId site) const;
 
+  /// Undo crash(site): the site exchanges packets again from now on.
+  /// Packets dropped while it was down stay dropped — a recovering site
+  /// rejoins at the protocol layer, not by replaying the network. If the
+  /// site had detach()ed, call attach() first to restore its callback.
+  void recover(SiteId site);
+
   /// Remove a site's delivery callback. Blocks until any in-progress
   /// delivery to that site finished, so the callee can be destroyed safely
   /// afterwards. Implies crash(site).
   void detach(SiteId site);
+
+  /// Re-register the delivery callback of an existing (detached or
+  /// restarted) site. Does not clear the crashed flag — pair with
+  /// recover() once the callee is ready to receive.
+  void attach(SiteId site, DeliveryFn deliver);
+
+  /// Default link options applied where no set_link override exists.
+  /// Mutators let a chaos plan script loss-burst windows; the RNG draw
+  /// discipline (see send()) keeps replays aligned as long as the change
+  /// itself happens at a deterministic virtual time.
+  LinkOptions defaults() const;
+  void set_defaults(LinkOptions defaults);
 
   /// Block until no packet is in flight AND no delivery callback is still
   /// executing. A callback may itself send(); such packets are part of the
@@ -97,6 +115,7 @@ class SimNetwork {
     Counter sent;
     Counter delivered;
     Counter dropped;
+    Counter recoveries;  // recover() calls that revived a crashed site
   };
   const Stats& stats() const { return stats_; }
 

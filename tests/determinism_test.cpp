@@ -189,5 +189,32 @@ TEST(Determinism, GcFleetSeedSweepReplaysIdentically) {
   }
 }
 
+// --- Crash/recovery fleet determinism ------------------------------------
+
+// Two full crash → evict → restart → rejoin cycles must be a pure function
+// of the seed: byte-identical view sequences, per-incarnation delivery
+// traces, retransmission counts and chaos-engine logs across replays.
+TEST(Determinism, RecoveryFleetReplaysIdentically) {
+  for (const std::uint64_t seed : {1ull, 17ull}) {
+    const auto a = testing::run_recovery_fleet(seed);
+    const auto b = testing::run_recovery_fleet(seed);
+    ASSERT_TRUE(a.converged) << "seed " << seed;
+    ASSERT_TRUE(b.converged) << "seed " << seed;
+    EXPECT_EQ(a.converged_at_us, b.converged_at_us) << "seed " << seed;
+    EXPECT_EQ(a.trace_lines, b.trace_lines) << "seed " << seed << ": delivery traces diverged";
+    EXPECT_EQ(a.view_lines, b.view_lines) << "seed " << seed << ": view sequences diverged";
+    EXPECT_EQ(a.retransmissions, b.retransmissions)
+        << "seed " << seed << ": retransmission counts diverged";
+    EXPECT_EQ(a.retrans_to_evicted_probe1, b.retrans_to_evicted_probe1) << "seed " << seed;
+    EXPECT_EQ(a.retrans_to_evicted_probe2, b.retrans_to_evicted_probe2) << "seed " << seed;
+    EXPECT_EQ(a.chaos_log, b.chaos_log) << "seed " << seed << ": fault injection diverged";
+    EXPECT_EQ(a.net_sent, b.net_sent) << "seed " << seed;
+    EXPECT_EQ(a.net_delivered, b.net_delivered) << "seed " << seed;
+    EXPECT_EQ(a.net_dropped, b.net_dropped) << "seed " << seed;
+    EXPECT_EQ(a.rejoin4_first_delivery_us, b.rejoin4_first_delivery_us) << "seed " << seed;
+    EXPECT_FALSE(a.trace_lines.empty());
+  }
+}
+
 }  // namespace
 }  // namespace samoa::gc

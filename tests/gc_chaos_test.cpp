@@ -8,6 +8,8 @@
 // the sweep is reproducible per seed and spends no real time sleeping.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "virtual_fleet.hpp"
 
 namespace samoa::gc {
@@ -50,6 +52,61 @@ TEST_P(ChaosSweep, FleetConvergesUnderFaults) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep, ::testing::Values(1u, 17u, 4242u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// --- Crash/recovery chaos -------------------------------------------------
+//
+// Two full crash → evict → restart → rejoin cycles (one overlapping a
+// partition-heal window, one under a loss burst), scripted by a FaultPlan
+// on the chaos engine. Every incarnation's delivery trace must satisfy
+// the virtual-synchrony checker, and retransmissions towards an evicted
+// peer must stop growing after the view change.
+class RecoverySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoverySweep, RejoinedFleetStaysVirtuallySynchronous) {
+  const std::uint64_t seed = GetParam();
+  const auto out = testing::run_recovery_fleet(seed);
+  if (!out.converged) {
+    for (const auto& line : out.trace_lines) std::printf("%s\n", line.c_str());
+    for (const auto& line : out.view_lines) std::printf("%s\n", line.c_str());
+  }
+  ASSERT_TRUE(out.converged) << "seed " << seed
+                             << ": recovery fleet did not converge within the virtual horizon";
+
+  const auto report = verify::check_virtual_synchrony(out.traces);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.describe();
+  EXPECT_GE(report.incarnations_checked, 7u);  // 5 sites + 2 archived lifetimes
+  EXPECT_EQ(report.reference_length, static_cast<std::size_t>(testing::kRecoveryMessages));
+
+  // Bounded retransmission to the evicted site: the counter moved while
+  // the dead member was still in the view, then froze after the change.
+  EXPECT_GT(out.retrans_to_evicted_probe1, 0u)
+      << "seed " << seed << ": no retransmissions towards the dead member before eviction";
+  EXPECT_EQ(out.retrans_to_evicted_probe1, out.retrans_to_evicted_probe2)
+      << "seed " << seed << ": retransmissions to the evicted peer kept growing";
+
+  // Observability counters.
+  EXPECT_EQ(out.net_recoveries, 2u);
+  EXPECT_EQ(out.rejoins_completed, 2u);
+  EXPECT_GE(out.suspicion_revocations, 2u)
+      << "the healed partition never produced a suspicion revocation";
+  EXPECT_GT(out.view_change_drops, 0u);
+  EXPECT_GE(out.rejoin4_first_delivery_us, out.rejoin4_requested_us);
+
+  std::printf("seed %llu: recoveries=%llu rejoins_completed=%llu suspicion_revocations=%llu "
+              "view_change_drops=%llu rejoin_to_first_delivery=%ldus\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(out.net_recoveries),
+              static_cast<unsigned long long>(out.rejoins_completed),
+              static_cast<unsigned long long>(out.suspicion_revocations),
+              static_cast<unsigned long long>(out.view_change_drops),
+              out.rejoin4_first_delivery_us - out.rejoin4_requested_us);
+  for (const auto& line : out.chaos_log) std::printf("  %s\n", line.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoverySweep, ::testing::Values(1u, 4u, 17u, 4242u),
                          [](const ::testing::TestParamInfo<std::uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });

@@ -16,13 +16,17 @@
 
 #include <chrono>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "chaos/chaos_engine.hpp"
+#include "chaos/fault_plan.hpp"
 #include "gc/group_node.hpp"
 #include "time/clock.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
+#include "verify/vs_checker.hpp"
 
 namespace samoa::gc::testing {
 
@@ -158,6 +162,257 @@ inline FleetOutcome run_chaos_fleet(std::uint64_t seed) {
     out.adelivered.push_back(nodes[i]->sink().adelivered());
     out.cdelivered.push_back(nodes[i]->sink().cdelivered());
   }
+  out.net_sent = net.stats().sent.value();
+  out.net_delivered = net.stats().delivered.value();
+  out.net_dropped = net.stats().dropped.value();
+  return out;
+}
+
+// --- Crash/recovery fleet -------------------------------------------------
+//
+// A second scripted scenario exercising the full restart/rejoin machinery:
+// five sites, three traffic bursts, a transient partition, a loss burst,
+// and TWO crash → evict → restart → rejoin cycles (site 4 while the
+// partition is up, site 3 under the loss burst). All faults are driven by
+// a chaos::ChaosEngine armed with one declarative chaos::FaultPlan; node
+// restarts and membership requests enter the plan as labelled calls.
+// The outcome carries everything the chaos, determinism and bench callers
+// need: the virtual-synchrony traces of every incarnation, serialized
+// trace/view lines for byte-comparison, the bounded-retransmission probes,
+// and the observability counters.
+
+struct RecoveryOutcome {
+  bool converged = false;
+  long converged_at_us = -1;
+  long rejoin4_requested_us = -1;   // virtual time of site 4's re-join request
+  long rejoin4_first_delivery_us = -1;  // first post-rejoin totally-ordered delivery
+  std::vector<verify::IncarnationTrace> traces;  // all sites, all incarnations
+  // Serialized forms for byte-identical replay comparison.
+  std::vector<std::string> trace_lines;  // one line per incarnation
+  std::vector<std::string> view_lines;   // one line per site: installed view ids+members
+  std::vector<std::uint64_t> retransmissions;  // per site, summed over incarnations
+  // Retransmissions towards evicted site 4, sampled twice while it stayed
+  // evicted: equal samples = the counter stopped growing after the view
+  // change (the backoff/GC boundedness criterion).
+  std::uint64_t retrans_to_evicted_probe1 = 0;
+  std::uint64_t retrans_to_evicted_probe2 = 0;
+  std::uint64_t net_recoveries = 0;
+  std::uint64_t rejoins_completed = 0;       // summed over sites
+  std::uint64_t suspicion_revocations = 0;   // summed over sites (current incarnations)
+  std::uint64_t view_change_drops = 0;       // summed over sites + archives
+  std::vector<std::string> chaos_log;
+  std::uint64_t net_sent = 0;
+  std::uint64_t net_delivered = 0;
+  std::uint64_t net_dropped = 0;
+};
+
+constexpr int kRecoverySites = 5;
+constexpr int kRecoveryMessages = 20;  // burst A (8) + burst B (6) + burst C (6)
+
+inline RecoveryOutcome run_recovery_fleet(std::uint64_t seed) {
+  using namespace std::chrono;
+
+  time::VirtualClock clock;
+
+  GcOptions opts;
+  opts.clock = &clock;
+  opts.rng_seed = seed;
+  opts.retransmit_interval = microseconds(2000);
+  opts.retransmit_timeout = microseconds(3000);
+  opts.retransmit_backoff_cap = microseconds(12000);
+  opts.heartbeat_interval = microseconds(2000);
+  opts.fd_timeout = microseconds(4000);
+  opts.cs_retry_interval = microseconds(5000);
+  opts.cs_retry_timeout = microseconds(8000);
+
+  net::SimNetwork net(net::LinkOptions{.base_latency = microseconds(100),
+                                       .jitter = microseconds(200),
+                                       .drop_probability = 0.02},
+                      seed, &clock);
+  net::TimerService script(&clock);  // harness-owned scenario + chaos timers
+  chaos::ChaosEngine engine(net, script);
+
+  std::vector<std::unique_ptr<GroupNode>> nodes;
+  for (int i = 0; i < kRecoverySites; ++i) {
+    nodes.push_back(std::make_unique<GroupNode>(net, opts));
+  }
+  std::vector<SiteId> members;
+  for (auto& n : nodes) members.push_back(n->id());
+  const SiteId site3 = nodes[3]->id();
+  const SiteId site4 = nodes[4]->id();
+
+  RecoveryOutcome out;
+  OneShotEvent done;
+
+  const auto now_us = [&clock] {
+    return static_cast<long>(
+        duration_cast<microseconds>(clock.now().time_since_epoch()).count());
+  };
+  // Sum of every alive old member's retransmission counter towards the
+  // evicted site 4.
+  const auto retrans_to_site4 = [&] {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 4; ++i) sum += nodes[i]->rel_comm().retransmissions_to(site4);
+    return sum;
+  };
+  const auto last_record_id = [](GroupNode& n) -> std::uint64_t {
+    const auto recs = n.sink().delivery_records();
+    return recs.empty() ? 0 : recs.back().id;
+  };
+  const auto all_converged = [&] {
+    // The never-crashed sites must hold the complete application history;
+    // the rejoined sites must have caught up to the same final delivery.
+    for (int i = 0; i < 3; ++i) {
+      if (nodes[i]->sink().adelivered().size() !=
+          static_cast<std::size_t>(kRecoveryMessages)) {
+        return false;
+      }
+    }
+    const std::uint64_t tail = last_record_id(*nodes[0]);
+    if (tail == 0) return false;
+    return last_record_id(*nodes[3]) == tail && last_record_id(*nodes[4]) == tail;
+  };
+  const auto shut_down_fleet = [&] {
+    for (auto& n : nodes) n->stop_timers();
+    script.cancel_all();  // includes the timer whose callback is running
+  };
+
+  {
+    // Freeze virtual time while the scenario is armed.
+    time::Pin setup(clock);
+    for (auto& n : nodes) n->start(View(1, members));
+
+    Rng rng(seed);
+    int sent = 0;
+    // Burst A: everyone is up.
+    for (int i = 0; i < 8; ++i) {
+      const auto who = rng.next_below(kRecoverySites);
+      const std::string payload = "m" + std::to_string(sent++);
+      script.schedule(microseconds(200 + 200 * i),
+                      [&nodes, who, payload] { nodes[who]->abcast(payload); });
+    }
+    // Burst B: while site 4 is back but site 3 is still a member.
+    std::vector<std::pair<int, std::string>> burst_b;
+    for (int i = 0; i < 6; ++i) {
+      burst_b.emplace_back(rng.next_below(4), "m" + std::to_string(sent++));  // 0..3
+    }
+    // Burst C: after site 3's restart; site 3 is mid-rejoin, so origins
+    // are the other four.
+    std::vector<std::pair<int, std::string>> burst_c;
+    for (int i = 0; i < 6; ++i) {
+      const int origins[4] = {0, 1, 2, 4};
+      burst_c.emplace_back(origins[rng.next_below(4)], "m" + std::to_string(sent++));
+    }
+
+    chaos::FaultPlan plan;
+    // Cycle 1: crash site 4 while a partition between 1 and 2 is up, evict
+    // it, probe the (frozen) retransmission counter twice, then restart +
+    // rejoin. The partition outlasts the failure-detector timeout, so 1
+    // and 2 suspect each other and must revoke after the heal.
+    plan.partition(microseconds(1500), nodes[1]->id(), nodes[2]->id())
+        .call(microseconds(5000), "crash node 4", [&nodes] { nodes[4]->crash(); })
+        .call(microseconds(7000), "evict node 4",
+              [&nodes, site4] { nodes[0]->request_leave(site4); })
+        .call(microseconds(24000), "probe retransmissions to evicted node 4",
+              [&out, retrans_to_site4] { out.retrans_to_evicted_probe1 = retrans_to_site4(); })
+        .heal(microseconds(26000), nodes[1]->id(), nodes[2]->id())
+        .call(microseconds(32000), "re-probe retransmissions to evicted node 4",
+              [&out, retrans_to_site4] { out.retrans_to_evicted_probe2 = retrans_to_site4(); })
+        .call(microseconds(34000), "restart node 4", [&nodes] { nodes[4]->restart(); })
+        .call(microseconds(35000), "rejoin node 4", [&nodes, &out, site4, now_us] {
+          out.rejoin4_requested_us = now_us();
+          nodes[0]->request_join(site4);
+        });
+    for (std::size_t i = 0; i < burst_b.size(); ++i) {
+      const auto [who, payload] = burst_b[i];
+      plan.call(microseconds(38000 + 300 * i), "abcast " + payload,
+                [&nodes, who, payload] { nodes[who]->abcast(payload); });
+    }
+    // Cycle 2: crash site 3 under a loss burst, evict, restart, rejoin.
+    plan.loss_burst(microseconds(44000), microseconds(52000),
+                    net::LinkOptions{.base_latency = microseconds(100),
+                                     .jitter = microseconds(200),
+                                     .drop_probability = 0.20})
+        .call(microseconds(45000), "crash node 3", [&nodes] { nodes[3]->crash(); })
+        .call(microseconds(47000), "evict node 3",
+              [&nodes, site3] { nodes[0]->request_leave(site3); })
+        .call(microseconds(62000), "restart node 3", [&nodes] { nodes[3]->restart(); })
+        .call(microseconds(63000), "rejoin node 3",
+              [&nodes, site3] { nodes[2]->request_join(site3); });
+    for (std::size_t i = 0; i < burst_c.size(); ++i) {
+      const auto [who, payload] = burst_c[i];
+      plan.call(microseconds(68000 + 300 * i), "abcast " + payload,
+                [&nodes, who, payload] { nodes[who]->abcast(payload); });
+    }
+    engine.arm(plan);
+
+    // Recovery-time metric: first totally-ordered delivery at site 4's new
+    // incarnation, polled at scenario resolution.
+    script.schedule_periodic(microseconds(500), [&] {
+      if (out.rejoin4_first_delivery_us >= 0 || out.rejoin4_requested_us < 0) return;
+      if (!nodes[4]->sink().delivery_records().empty()) {
+        out.rejoin4_first_delivery_us = now_us();
+      }
+    });
+    // Convergence checker (scripted, so the shutdown point is virtual-time
+    // deterministic).
+    script.schedule_periodic(microseconds(1000), [&] {
+      if (!all_converged()) return;
+      out.converged = true;
+      out.converged_at_us = now_us();
+      shut_down_fleet();
+      done.set();
+    });
+    // Horizon failsafe.
+    script.schedule(microseconds(5'000'000), [&] {
+      shut_down_fleet();
+      done.set();
+    });
+  }
+
+  done.wait();
+  // Quiesce to the fixpoint (see run_chaos_fleet).
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (;;) {
+    net.drain();
+    for (auto& n : nodes) n->drain();
+    const std::uint64_t total = net.stats().sent.value() + net.stats().delivered.value() +
+                                net.stats().dropped.value();
+    if (total == prev) break;
+    prev = total;
+  }
+
+  for (auto& n : nodes) {
+    for (auto& t : n->vs_traces()) out.traces.push_back(std::move(t));
+    out.retransmissions.push_back(n->total_retransmissions());
+    out.rejoins_completed += n->rejoins_completed();
+    out.suspicion_revocations += n->fd().suspicion_revocations();
+    out.view_change_drops += n->rel_comm().view_change_drops();
+    for (const auto& arc : n->archives()) out.view_change_drops += arc.view_change_drops;
+  }
+  for (const auto& t : out.traces) {
+    std::ostringstream os;
+    os << "site" << t.site.value() << "/inc" << t.incarnation
+       << (t.crashed ? "/crashed" : "/alive");
+    for (const auto& r : t.deliveries) {
+      os << " " << r.ordinal << ":" << r.id << ":" << r.view_id << ":" << r.data;
+    }
+    out.trace_lines.push_back(os.str());
+  }
+  for (auto& n : nodes) {
+    std::ostringstream os;
+    os << "site" << n->id().value() << " views:";
+    for (const auto& t : n->vs_traces()) {
+      for (const auto& v : t.views) {
+        os << " " << v.id() << "{";
+        for (const auto& m : v.members()) os << m.value() << ",";
+        os << "}";
+      }
+    }
+    out.view_lines.push_back(os.str());
+  }
+  out.chaos_log = engine.log();
+  out.net_recoveries = net.stats().recoveries.value();
   out.net_sent = net.stats().sent.value();
   out.net_delivered = net.stats().delivered.value();
   out.net_dropped = net.stats().dropped.value();
