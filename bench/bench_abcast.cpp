@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "diag/watchdog.hpp"
 #include "gc/group_node.hpp"
 
 namespace samoa::bench {
@@ -85,6 +86,7 @@ std::string cell(const Result& r, int messages) {
 }  // namespace samoa::bench
 
 int main() {
+  samoa::diag::install_env_watchdog("bench_abcast");
   using namespace samoa;
   using namespace samoa::bench;
 

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "diag/watchdog.hpp"
 
 namespace samoa::bench {
 namespace {
@@ -80,6 +81,7 @@ double makespan_ns(CCPolicy policy, int k, std::uint32_t declared_bound,
 }  // namespace samoa::bench
 
 int main() {
+  samoa::diag::install_env_watchdog("bench_bound");
   using namespace samoa;
   using namespace samoa::bench;
 

@@ -13,9 +13,11 @@
 #include <cstdlib>
 
 #include "bench_common.hpp"
+#include "diag/watchdog.hpp"
 #include "virtual_fleet.hpp"
 
 int main(int argc, char** argv) {
+  samoa::diag::install_env_watchdog("bench_detsim");
   using namespace samoa;
   using namespace samoa::gc::testing;
 

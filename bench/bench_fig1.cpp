@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "diag/watchdog.hpp"
 #include "proto/fig1.hpp"
 #include "util/rng.hpp"
 #include "verify/checker.hpp"
@@ -65,6 +66,7 @@ Cell run_policy(CCPolicy policy, int trials, std::uint64_t seed) {
 }  // namespace samoa::bench
 
 int main() {
+  samoa::diag::install_env_watchdog("bench_fig1");
   using namespace samoa;
   using namespace samoa::bench;
 

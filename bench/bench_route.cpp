@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "diag/watchdog.hpp"
 
 namespace samoa::bench {
 namespace {
@@ -100,6 +101,7 @@ double makespan_ns(Shape shape, int k, std::chrono::microseconds tail_latency) {
 }  // namespace samoa::bench
 
 int main() {
+  samoa::diag::install_env_watchdog("bench_route");
   using namespace samoa;
   using namespace samoa::bench;
 

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "diag/watchdog.hpp"
 #include "util/rng.hpp"
 
 namespace samoa::bench {
@@ -62,6 +63,7 @@ double makespan_ns(CCPolicy policy, int k, double read_fraction,
 }  // namespace samoa::bench
 
 int main() {
+  samoa::diag::install_env_watchdog("bench_rw");
   using namespace samoa;
   using namespace samoa::bench;
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "diag/watchdog.hpp"
 #include "util/sync.hpp"
 
 namespace samoa::bench {
@@ -64,6 +65,7 @@ double makespan_ns(CCPolicy policy, int k, std::chrono::microseconds latency) {
 }  // namespace samoa::bench
 
 int main() {
+  samoa::diag::install_env_watchdog("bench_scaling");
   using namespace samoa;
   using namespace samoa::bench;
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "diag/watchdog.hpp"
 #include "cc/tso.hpp"
 #include "core/txvar.hpp"
 #include "util/rng.hpp"
@@ -84,6 +85,7 @@ Result run(CCPolicy policy, int pool_size, int k, int footprint, std::uint64_t s
 }  // namespace samoa::bench
 
 int main() {
+  samoa::diag::install_env_watchdog("bench_tso");
   using namespace samoa;
   using namespace samoa::bench;
 

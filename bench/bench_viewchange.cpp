@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "diag/watchdog.hpp"
 #include "gc/group_node.hpp"
 #include "virtual_fleet.hpp"
 
@@ -65,6 +66,9 @@ std::pair<std::int64_t, bool> run_race(CCPolicy policy, bool manual_locks,
 int main() {
   using namespace samoa;
   using namespace samoa::bench;
+  // Self-diagnose instead of hanging if the join-flood race wedges again
+  // (SAMOA_WATCHDOG=<ms> arms it; see diag/watchdog.hpp).
+  diag::install_env_watchdog("bench_viewchange");
 
   constexpr int kRuns = 3;
   std::printf(

@@ -1,18 +1,27 @@
 #include "cc/serial.hpp"
 
+#include "diag/wait_registry.hpp"
+
 namespace samoa {
 
 class SerialComputationCC : public ComputationCC {
  public:
-  SerialComputationCC(SerialController& ctrl, std::uint64_t ticket)
-      : ctrl_(ctrl), ticket_(ticket) {}
+  SerialComputationCC(SerialController& ctrl, std::uint64_t ticket, ComputationId id)
+      : ctrl_(ctrl), ticket_(ticket), id_(id) {}
 
   void on_start() override {
     std::unique_lock lock(ctrl_.mu_);
     if (ctrl_.now_serving_ != ticket_) {
       ctrl_.stats_.gate_waits.add();
       const auto start = Clock::now();
-      ctrl_.cv_.wait(lock, [&] { return ctrl_.now_serving_ == ticket_; });
+      std::condition_variable cv;
+      ctrl_.waiters_.emplace(ticket_, &cv);
+      {
+        diag::ScopedWait wait(diag::WaitKind::kSerialTurn, &ctrl_, "serial", ticket_, ticket_ + 1,
+                              ctrl_.now_serving_);
+        cv.wait(lock, [&] { return ctrl_.now_serving_ == ticket_; });
+      }
+      ctrl_.waiters_.erase(ticket_);
       ctrl_.stats_.gate_wait_time.record(
           std::chrono::duration_cast<Nanos>(Clock::now() - start));
     }
@@ -25,18 +34,29 @@ class SerialComputationCC : public ComputationCC {
   void on_complete() override {
     std::unique_lock lock(ctrl_.mu_);
     ++ctrl_.now_serving_;
-    ctrl_.cv_.notify_all();
+    // now_serving_ reached ticket_ + 1: this ticket's hold is over.
+    diag::WaitRegistry::instance().note_release(&ctrl_, ticket_);
+    diag::WaitRegistry::instance().note_progress();
+    // Wake only the next ticket (if it is already parked; if not, it will
+    // see now_serving_ when it reaches on_start).
+    const auto it = ctrl_.waiters_.find(ctrl_.now_serving_);
+    if (it != ctrl_.waiters_.end()) it->second->notify_one();
   }
 
  private:
   SerialController& ctrl_;
   std::uint64_t ticket_;
+  ComputationId id_;
 };
 
-std::unique_ptr<ComputationCC> SerialController::admit(ComputationId, const Isolation&) {
+SerialController::~SerialController() { diag::WaitRegistry::instance().forget_subject(this); }
+
+std::unique_ptr<ComputationCC> SerialController::admit(ComputationId id, const Isolation&) {
   stats_.admissions.add();
   std::unique_lock lock(mu_);
-  return std::make_unique<SerialComputationCC>(*this, next_ticket_++);
+  const std::uint64_t ticket = next_ticket_++;
+  diag::WaitRegistry::instance().note_admission(this, "serial", ticket, id.value());
+  return std::make_unique<SerialComputationCC>(*this, ticket, id);
 }
 
 }  // namespace samoa

@@ -6,11 +6,18 @@
 // computations complete", paper Section 5). spawn_isolated itself never
 // blocks (an Appia channel enqueues external events); the computation's
 // root task waits for its turn instead.
+//
+// Each parked ticket waits on its own condition variable, registered
+// under its ticket number, so advancing the turnstile wakes exactly the
+// next ticket — not every parked computation (the same targeted-wakeup
+// discipline as VersionGate; a shared broadcast cv makes each turn cost
+// O(backlog) wakeups and livelocks under a convoy).
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <unordered_map>
 
 #include "cc/controller.hpp"
 
@@ -18,6 +25,8 @@ namespace samoa {
 
 class SerialController : public ConcurrencyController {
  public:
+  ~SerialController() override;
+
   std::unique_ptr<ComputationCC> admit(ComputationId k, const Isolation& spec) override;
   const char* name() const override { return "serial"; }
 
@@ -25,9 +34,11 @@ class SerialController : public ConcurrencyController {
   friend class SerialComputationCC;
 
   std::mutex mu_;
-  std::condition_variable cv_;
   std::uint64_t next_ticket_ = 0;
   std::uint64_t now_serving_ = 0;
+  /// ticket -> that ticket's parked cv (tickets are unique, so at most one
+  /// waiter per key; stack-allocated by the waiting thread).
+  std::unordered_map<std::uint64_t, std::condition_variable*> waiters_;
 };
 
 }  // namespace samoa

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/errors.hpp"
+#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -41,7 +42,8 @@ class VCABoundComputationCC : public ComputationCC {
   void before_execute(const Handler& h) override {
     const Slot& s = slots_.at(h.owner().id());
     // Rule 2: pv - bound <= lv < pv.
-    ctrl_.gates_.gate(h.owner().id()).wait_window(s.pv - s.bound, s.pv, ctrl_.stats_);
+    ctrl_.gates_.gate(h.owner().id())
+        .wait_window(s.pv - s.bound, s.pv, ctrl_.stats_, h.owner().name().c_str());
   }
 
   void after_execute(const Handler& h) override {
@@ -80,7 +82,9 @@ std::unique_ptr<ComputationCC> VCABoundController::admit(ComputationId k, const 
       const std::uint64_t bound = spec.bounds().at(mp);
       Slot s;
       s.bound = bound;
-      s.pv = gates_.gate(mp).admit(bound);  // Rule 1: gv += bound[p]
+      auto& gate = gates_.gate(mp);
+      s.pv = gate.admit(bound);  // Rule 1: gv += bound[p]
+      diag::WaitRegistry::instance().note_admission(&gate, nullptr, s.pv, k.value());
       slots.emplace(mp, s);
     }
   }

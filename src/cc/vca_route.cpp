@@ -6,6 +6,7 @@
 
 #include "cc/routing_graph.hpp"
 #include "core/errors.hpp"
+#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -50,7 +51,7 @@ class VCARouteComputationCC : public ComputationCC {
 
   void before_execute(const Handler& h) override {
     const auto pv = pv_.at(h.owner().id());
-    ctrl_.gates_.gate(h.owner().id()).wait_exact(pv - 1, ctrl_.stats_);
+    ctrl_.gates_.gate(h.owner().id()).wait_exact(pv - 1, ctrl_.stats_, h.owner().name().c_str());
   }
 
   void after_execute(const Handler& h) override {
@@ -141,7 +142,10 @@ std::unique_ptr<ComputationCC> VCARouteController::admit(ComputationId k, const 
   {
     std::unique_lock lock(admission_mu_);
     for (MicroprotocolId mp : spec.members()) {
-      pv.emplace(mp, gates_.gate(mp).admit(1));
+      auto& gate = gates_.gate(mp);
+      const auto pv_k = gate.admit(1);
+      diag::WaitRegistry::instance().note_admission(&gate, nullptr, pv_k, k.value());
+      pv.emplace(mp, pv_k);
     }
   }
   return std::make_unique<VCARouteComputationCC>(*this, k, std::move(graph), std::move(pv));

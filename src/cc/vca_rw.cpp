@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/errors.hpp"
+#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -37,7 +38,7 @@ class VCARWComputationCC : public ComputationCC {
     const Slot& s = slots_.at(h.owner().id());
     // Readers of one group share pv, so they all pass together; writers
     // hold pv exclusively — plain VCAbasic gating either way.
-    ctrl_.gates_.gate(h.owner().id()).wait_exact(s.pv - 1, ctrl_.stats_);
+    ctrl_.gates_.gate(h.owner().id()).wait_exact(s.pv - 1, ctrl_.stats_, h.owner().name().c_str());
   }
 
   void after_execute(const Handler&) override {}
@@ -104,6 +105,9 @@ std::unique_ptr<ComputationCC> VCARWController::admit(ComputationId k, const Iso
         rw.joinable_version = s.pv;
         rw.group_members[s.pv] = 1;
       }
+      // Reader groups share a version; the first member stands in as the
+      // holder (note_admission keeps the earliest comp per version).
+      diag::WaitRegistry::instance().note_admission(&gate, nullptr, s.pv, k.value());
       slots.emplace(mp, s);
     }
   }

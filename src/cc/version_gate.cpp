@@ -2,7 +2,11 @@
 
 #include <stdexcept>
 
+#include "diag/wait_registry.hpp"
+
 namespace samoa {
+
+VersionGate::~VersionGate() { diag::WaitRegistry::instance().forget_subject(this); }
 
 std::uint64_t VersionGate::admit(std::uint64_t delta) {
   std::unique_lock lock(mu_);
@@ -10,22 +14,49 @@ std::uint64_t VersionGate::admit(std::uint64_t delta) {
   return gv_;
 }
 
-void VersionGate::wait_exact(std::uint64_t pv_minus_1, CCStats& stats) {
+void VersionGate::wait_exact(std::uint64_t pv_minus_1, CCStats& stats, const char* who) {
   std::unique_lock lock(mu_);
   if (lv_ == pv_minus_1) return;
   stats.gate_waits.add();
   const auto start = Clock::now();
-  cv_.wait(lock, [&] { return lv_ == pv_minus_1; });
+  Waiter self;
+  self.lo = pv_minus_1;
+  self.hi = pv_minus_1 + 1;
+  exact_waiters_.emplace(pv_minus_1, &self);
+  {
+    // Registering the wait also releases this worker's runnable slot in
+    // its pool (see ElasticThreadPool::note_worker_parked) — the task
+    // that publishes pv_minus_1 may still be queued.
+    diag::ScopedWait wait(diag::WaitKind::kGateExact, this, who, pv_minus_1, pv_minus_1 + 1, lv_);
+    self.cv.wait(lock, [&] { return lv_ == pv_minus_1; });
+  }
+  // Re-find rather than cache the emplace iterator: concurrent inserts may
+  // have rehashed the table while this thread was parked.
+  const auto [begin, end] = exact_waiters_.equal_range(pv_minus_1);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == &self) {
+      exact_waiters_.erase(it);
+      break;
+    }
+  }
   stats.gate_wait_time.record(std::chrono::duration_cast<Nanos>(Clock::now() - start));
 }
 
-void VersionGate::wait_window(std::uint64_t lo, std::uint64_t hi, CCStats& stats) {
+void VersionGate::wait_window(std::uint64_t lo, std::uint64_t hi, CCStats& stats, const char* who) {
   std::unique_lock lock(mu_);
   auto in_window = [&] { return lo <= lv_ && lv_ < hi; };
   if (in_window()) return;
   stats.gate_waits.add();
   const auto start = Clock::now();
-  cv_.wait(lock, in_window);
+  Waiter self;
+  self.lo = lo;
+  self.hi = hi;
+  window_waiters_.push_back(&self);
+  {
+    diag::ScopedWait wait(diag::WaitKind::kGateWindow, this, who, lo, hi, lv_);
+    self.cv.wait(lock, in_window);
+  }
+  std::erase(window_waiters_, &self);
   stats.gate_wait_time.record(std::chrono::duration_cast<Nanos>(Clock::now() - start));
 }
 
@@ -33,23 +64,29 @@ void VersionGate::set_lv(std::uint64_t v) {
   std::unique_lock lock(mu_);
   if (v < lv_) throw std::logic_error("VersionGate: local version downgrade");
   lv_ = v;
+  wake_matching_locked();
   apply_deferred_locked();
-  cv_.notify_all();
+  diag::WaitRegistry::instance().note_release(this, lv_);
+  diag::WaitRegistry::instance().note_progress();
 }
 
 void VersionGate::increment_lv() {
   std::unique_lock lock(mu_);
   ++lv_;
+  wake_matching_locked();
   apply_deferred_locked();
-  cv_.notify_all();
+  diag::WaitRegistry::instance().note_release(this, lv_);
+  diag::WaitRegistry::instance().note_progress();
 }
 
 void VersionGate::schedule_set(std::uint64_t trigger, std::uint64_t to) {
   std::unique_lock lock(mu_);
   if (lv_ == trigger) {
     lv_ = to;
+    wake_matching_locked();
     apply_deferred_locked();
-    cv_.notify_all();
+    diag::WaitRegistry::instance().note_release(this, lv_);
+    diag::WaitRegistry::instance().note_progress();
     return;
   }
   if (lv_ > trigger) {
@@ -65,8 +102,30 @@ void VersionGate::apply_deferred_locked() {
   while (it != deferred_.end()) {
     lv_ = it->second;
     deferred_.erase(it);
+    // Each intermediate value a deferred chain lands on is a published
+    // version in its own right: waiters keyed on it must see it.
+    wake_matching_locked();
     it = deferred_.find(lv_);
   }
+}
+
+void VersionGate::wake_matching_locked() {
+  const auto [begin, end] = exact_waiters_.equal_range(lv_);
+  for (auto it = begin; it != end; ++it) {
+    it->second->cv.notify_one();
+    ++wakeups_delivered_;
+  }
+  for (Waiter* w : window_waiters_) {
+    if (w->lo <= lv_ && lv_ < w->hi) {
+      w->cv.notify_one();
+      ++wakeups_delivered_;
+    }
+  }
+}
+
+std::uint64_t VersionGate::wakeups_delivered() const {
+  std::unique_lock lock(mu_);
+  return wakeups_delivered_;
 }
 
 std::uint64_t VersionGate::lv() const {

@@ -12,6 +12,17 @@
 // pv[p]_k - 1 would skip over older computations' turns and break the
 // version order the correctness proofs rely on. The deferred upgrade fires
 // the moment lv_p reaches the scheduled trigger value.
+//
+// Wakeups are targeted, not broadcast. Every waiter parks on its own
+// condition variable, registered under the version it awaits; a publish
+// notifies only the waiter(s) whose window the new lv satisfies. With a
+// shared cv + notify_all, each publish woke every parked computation so
+// one could proceed — O(waiters) wakeups and gate-mutex reacquisitions
+// per version. Under a backlog (the E2 join-flood convoy) that makes the
+// cost of a publish grow with the backlog itself, and once publish cost
+// times backlog outpaces admission inflow the gate livelocks: the process
+// looks deadlocked while one thread broadcasts to thousands of waiters
+// that cannot proceed.
 #pragma once
 
 #include <condition_variable>
@@ -20,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "cc/controller.hpp"
 #include "util/ids.hpp"
@@ -28,17 +40,20 @@ namespace samoa {
 
 class VersionGate {
  public:
+  ~VersionGate();
+
   /// Step 1: gv += delta; returns the upgraded gv (the computation's
   /// private version pv for this microprotocol). The caller must hold the
   /// controller's admission mutex so multi-microprotocol admissions are
   /// atomic.
   std::uint64_t admit(std::uint64_t delta);
 
-  /// Rule 2 of VCAbasic/VCAroute: block until lv == pv - 1.
-  void wait_exact(std::uint64_t pv_minus_1, CCStats& stats);
+  /// Rule 2 of VCAbasic/VCAroute: block until lv == pv - 1. `who` names
+  /// the gated microprotocol in blocked-state dumps.
+  void wait_exact(std::uint64_t pv_minus_1, CCStats& stats, const char* who = "");
 
   /// Rule 2 of VCAbound: block until lo <= lv < hi.
-  void wait_window(std::uint64_t lo, std::uint64_t hi, CCStats& stats);
+  void wait_window(std::uint64_t lo, std::uint64_t hi, CCStats& stats, const char* who = "");
 
   /// Step 3: lv = v (monotone; asserts no downgrade), then fire deferred
   /// upgrades and wake waiters.
@@ -53,14 +68,38 @@ class VersionGate {
 
   std::uint64_t lv() const;
 
+  /// Number of waiter notifications delivered so far. With targeted
+  /// wakeups this is bounded by the number of waits ever parked (each
+  /// waiter is notified once, when its window opens) — the regression
+  /// tests pin that bound to keep the publish path O(1) in the backlog.
+  std::uint64_t wakeups_delivered() const;
+
  private:
+  /// One parked thread: its own cv plus the window [lo, hi) of lv values
+  /// it can proceed under (hi == lo + 1 for exact waits). Stack-allocated
+  /// by the waiting thread; lives until its wait returns.
+  struct Waiter {
+    std::condition_variable cv;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+
   void apply_deferred_locked();
+  /// Notify exactly the waiters whose window contains the current lv.
+  void wake_matching_locked();
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   std::uint64_t gv_ = 0;
   std::uint64_t lv_ = 0;
   std::map<std::uint64_t, std::uint64_t> deferred_;  // trigger lv -> new lv
+  /// Exact waiters keyed by the lv value they await. Keys are distinct in
+  /// practice (each version has one owner), but on_complete re-waits the
+  /// same key a before_execute used, so a multimap keeps this robust.
+  std::unordered_multimap<std::uint64_t, Waiter*> exact_waiters_;
+  /// Window waiters (VCAbound); scanned linearly on publish — bounds keep
+  /// this list short by construction.
+  std::vector<Waiter*> window_waiters_;
+  std::uint64_t wakeups_delivered_ = 0;
 };
 
 /// Lazily-populated table of gates, one per microprotocol, shared by all

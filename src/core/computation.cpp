@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/runtime.hpp"
+#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -34,7 +35,15 @@ void Computation::finalize() {
   // Book-keeping before the completion signal: a waiter woken by
   // completed_ must observe the runtime's final counters.
   runtime_.on_computation_done(id_);
+  diag::WaitRegistry::instance().note_progress();
   completed_.set();
+}
+
+void Computation::wait_done() {
+  if (completed_.is_set()) return;
+  diag::ScopedWait wait(diag::WaitKind::kCompletion, this, "computation", id_.value(),
+                        id_.value() + 1, 0);
+  completed_.wait();
 }
 
 void Computation::record_error(std::exception_ptr e) {

@@ -73,7 +73,7 @@ class Computation : public std::enable_shared_from_this<Computation> {
   void rethrow_if_error() const;
 
   bool done() const { return completed_.is_set(); }
-  void wait_done() { completed_.wait(); }
+  void wait_done();
   bool wait_done_for(std::chrono::milliseconds timeout) { return completed_.wait_for(timeout); }
 
   // -- rollback / restart support (TSO controller) --

@@ -5,6 +5,7 @@
 #include "core/runtime.hpp"
 #include "core/stack.hpp"
 #include "core/trace.hpp"
+#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -89,17 +90,20 @@ void Context::run_handler_now(const Handler& h, const Message& msg) {
 void Context::enqueue_handler(const Handler& h, Message msg) {
   comp_->task_started();
   auto comp = comp_;
-  comp_->runtime().pool().submit([comp, &h, msg = std::move(msg)]() mutable {
-    Context ctx(comp, HandlerId{});
-    try {
-      ctx.run_handler_now(h, msg);
-    } catch (...) {
-      // Asynchronous handlers have no caller to propagate to: record on
-      // the computation, rethrown from ComputationHandle::wait().
-      comp->record_error(std::current_exception());
-    }
-    comp->task_finished();
-  });
+  comp_->runtime().pool().submit(
+      [comp, &h, msg = std::move(msg)]() mutable {
+        diag::ScopedComputation diag_scope(comp->id().value());
+        Context ctx(comp, HandlerId{});
+        try {
+          ctx.run_handler_now(h, msg);
+        } catch (...) {
+          // Asynchronous handlers have no caller to propagate to: record on
+          // the computation, rethrown from ComputationHandle::wait().
+          comp->record_error(std::current_exception());
+        }
+        comp->task_finished();
+      },
+      comp->id().value());
 }
 
 }  // namespace samoa

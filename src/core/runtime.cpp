@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include "core/errors.hpp"
+#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -45,7 +46,9 @@ ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Con
     if (trace_) trace_->record(TracePhase::kSpawn, id, MicroprotocolId{}, HandlerId{});
 
     comp->task_started();  // the root expression counts as one task
-    pool_.submit([this, comp, root = std::move(root)] {
+    pool_.submit(
+        [this, comp, root = std::move(root)] {
+      diag::ScopedComputation diag_scope(comp->id().value());
       // The loop only repeats under TSO, whose wait-die losers roll back
       // their TxVar state and re-run with a fresh timestamp. The versioning
       // controllers never abort, so the first pass is the only pass.
@@ -84,7 +87,8 @@ ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Con
       }
       comp->cc().on_root_done();
       comp->task_finished();
-    });
+        },
+        id.value());
   } catch (...) {
     if (remove_inflight(id) && opts_.clock != nullptr) opts_.clock->unpin();
     throw;
@@ -110,6 +114,8 @@ void Runtime::on_computation_done(ComputationId id) {
 
 void Runtime::drain() {
   std::unique_lock lock(inflight_mu_);
+  if (inflight_.empty()) return;
+  diag::ScopedWait wait(diag::WaitKind::kDrain, this, "runtime-drain", 0, 0, inflight_.size());
   inflight_cv_.wait(lock, [this] { return inflight_.empty(); });
 }
 

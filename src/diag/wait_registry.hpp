@@ -1,0 +1,214 @@
+// Blocked-state introspection — the registry half of the diag layer.
+//
+// SAMOA's liveness story is "a blocked handler is always unblocked by a
+// version publish" (paper Sections 5-6). This registry is how we *check*
+// that claim at runtime instead of assuming it: every blocking point in
+// the runtime registers a typed wait record before parking (version-gate
+// waits, the serial controller's turnstile, runtime drains, completion
+// waits), and controllers record which computation will publish each
+// version, so a stalled process can produce a thread dump with wait-for
+// edges and name the cycle that wedged it.
+//
+// Registration is always on — it only touches the slow path (a thread
+// about to park) — and doubles as the thread pool's park notification:
+// ScopedWait tells the worker's ElasticThreadPool that this thread no
+// longer consumes a runnable slot, which is what makes the pool's
+// deadlock-freedom argument hold under a thread cap (see
+// util/thread_pool.hpp). Holder tracking (admission -> version maps used
+// for wait-for edges) is also cheap and always on: one map insert per
+// (computation, microprotocol) admission.
+//
+// Lock order: a caller may hold its own gate/controller mutex when
+// touching the registry; the registry may take a pool's mutex (snapshot,
+// park hints run without registry lock). Nothing ever takes a gate or
+// controller mutex from inside the registry or a pool.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace samoa {
+class ElasticThreadPool;
+}
+
+namespace samoa::diag {
+
+enum class WaitKind {
+  kGateExact,   // VersionGate::wait_exact (VCAbasic/route/rw Rule 2, Step 3)
+  kGateWindow,  // VersionGate::wait_window (VCAbound Rule 2/3)
+  kSerialTurn,  // serial controller turnstile (on_start)
+  kDrain,       // Runtime::drain waiting for inflight_ to empty
+  kCompletion,  // ComputationHandle/Computation wait_done
+  kExternal,    // test/bench-registered wait (e.g. polling loops)
+};
+
+const char* to_string(WaitKind kind);
+
+/// One parked thread. `subject` identifies what it waits on (a gate or
+/// controller address); `awaiting_lo`/`awaiting_hi` the version window it
+/// needs ([lo, hi), hi == lo + 1 for exact waits; for kSerialTurn the
+/// ticket); `observed` the subject's version when the thread parked.
+struct WaitRecord {
+  std::uint64_t id = 0;
+  WaitKind kind = WaitKind::kExternal;
+  const void* subject = nullptr;
+  std::string subject_name;
+  std::uint64_t awaiting_lo = 0;
+  std::uint64_t awaiting_hi = 0;
+  std::uint64_t observed = 0;
+  std::uint64_t comp = 0;  // waiting computation id (0 = not a computation)
+  const samoa::ElasticThreadPool* pool = nullptr;  // set if a pool worker
+  std::thread::id thread;
+  std::chrono::steady_clock::time_point since{};
+};
+
+/// Who will publish a version: admission bookkeeping per subject.
+struct HolderEntry {
+  std::uint64_t version = 0;
+  std::uint64_t comp = 0;
+};
+
+struct PoolState {
+  const samoa::ElasticThreadPool* pool = nullptr;
+  std::size_t live = 0;
+  std::size_t idle = 0;
+  std::size_t parked = 0;
+  std::size_t queued = 0;
+  std::size_t max_threads = 0;
+  std::size_t peak = 0;
+  std::vector<std::uint64_t> queued_tags;   // computation ids of queued tasks
+  std::vector<std::uint64_t> running_tags;  // computation ids on workers
+};
+
+/// A wait-for edge for cycle detection. Nodes are computations (comp != 0)
+/// or pools. "from waits for to".
+struct WaitEdge {
+  std::uint64_t from_comp = 0;
+  const samoa::ElasticThreadPool* from_pool = nullptr;
+  std::uint64_t to_comp = 0;
+  const samoa::ElasticThreadPool* to_pool = nullptr;
+  std::string label;  // human-readable reason
+};
+
+struct Dump {
+  std::chrono::steady_clock::time_point taken{};
+  std::vector<WaitRecord> waits;
+  std::vector<PoolState> pools;
+  /// subject -> (name, last published version, outstanding holders)
+  struct SubjectState {
+    const void* subject = nullptr;
+    std::string name;
+    std::uint64_t last_published = 0;
+    std::vector<HolderEntry> holders;
+  };
+  std::vector<SubjectState> subjects;
+  std::vector<WaitEdge> edges;
+  /// Non-empty when cycle detection found a deadlock: the edges of the
+  /// first cycle, in order.
+  std::vector<WaitEdge> cycle;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+class WaitRegistry {
+ public:
+  static WaitRegistry& instance();
+
+  // --- progress epoch (read by the watchdog) ---
+  /// Bumped by every version publish, task completion and computation
+  /// completion; an unchanged epoch over a watchdog budget means no
+  /// progress.
+  void note_progress() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t progress_epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  // --- holder tracking (wait-for edges) ---
+  /// Computation `comp` was admitted at `version` of `subject`: it is the
+  /// one that will publish `version` (gate lv / serial now_serving reaches
+  /// `version` when it completes).
+  void note_admission(const void* subject, const char* name, std::uint64_t version,
+                      std::uint64_t comp);
+  /// `subject` published up to `version`: all holders <= version are done.
+  void note_release(const void* subject, std::uint64_t version);
+  /// Forget a subject entirely (its owner is being destroyed).
+  void forget_subject(const void* subject);
+
+  // --- pools ---
+  void register_pool(samoa::ElasticThreadPool* pool);
+  void unregister_pool(samoa::ElasticThreadPool* pool);
+
+  /// Snapshot every wait record, pool and subject, derive wait-for edges,
+  /// and run cycle detection.
+  Dump snapshot() const;
+
+  std::size_t wait_count() const;
+
+  /// Age of the oldest currently-registered wait (zero when none). Lets
+  /// the watchdog catch a *starved* wait — one parked far beyond any
+  /// reasonable bound while unrelated work keeps the progress epoch
+  /// moving (the signature of a head-of-line stall under background
+  /// traffic, which pure no-progress detection is blind to).
+  std::chrono::steady_clock::duration oldest_wait_age() const;
+
+  // -- internal (ScopedWait) --
+  std::uint64_t add_wait(WaitRecord rec);
+  void remove_wait(std::uint64_t id);
+
+ private:
+  struct Subject {
+    std::string name;
+    std::uint64_t last_published = 0;
+    std::map<std::uint64_t, std::uint64_t> holders;  // version -> comp
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, WaitRecord> waits_;
+  std::unordered_map<const void*, Subject> subjects_;
+  std::vector<samoa::ElasticThreadPool*> pools_;
+  std::uint64_t next_wait_id_ = 1;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+/// RAII wait registration. Construct immediately before parking (the
+/// caller may hold the mutex it parks with) and let it unwind after the
+/// wait returns. Also marks the current thread parked in its
+/// ElasticThreadPool, releasing its runnable slot for the duration.
+class ScopedWait {
+ public:
+  ScopedWait(WaitKind kind, const void* subject, std::string subject_name,
+             std::uint64_t awaiting_lo, std::uint64_t awaiting_hi, std::uint64_t observed);
+  ~ScopedWait();
+
+  ScopedWait(const ScopedWait&) = delete;
+  ScopedWait& operator=(const ScopedWait&) = delete;
+
+ private:
+  std::uint64_t id_ = 0;
+  samoa::ElasticThreadPool* pool_ = nullptr;
+};
+
+/// Thread-local id of the computation whose task runs on this thread
+/// (0 = none). Set by the runtime around root/async task bodies so gate
+/// waits can attribute themselves.
+std::uint64_t current_computation();
+
+class ScopedComputation {
+ public:
+  explicit ScopedComputation(std::uint64_t comp);
+  ~ScopedComputation();
+
+  ScopedComputation(const ScopedComputation&) = delete;
+  ScopedComputation& operator=(const ScopedComputation&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace samoa::diag

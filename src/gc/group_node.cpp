@@ -274,22 +274,29 @@ void GroupNode::start(View initial_view) {
   arm_timers();
 }
 
+void GroupNode::spawn_tick(std::size_t slot, EventClass klass, const EventType& ev) {
+  if (crashed_.load(std::memory_order_acquire)) return;
+  std::unique_lock lock(tick_mu_);
+  ComputationHandle& prev = last_tick_[slot];
+  if (prev.valid() && !prev.done()) {
+    ticks_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  prev = spawn(klass, ev, Message{});
+}
+
 void GroupNode::arm_timers() {
   timers_.schedule_periodic(opts_.retransmit_interval, [this] {
-    if (crashed_.load(std::memory_order_acquire)) return;
-    spawn(EventClass::kRetransmitTick, events_.retransmit_tick, Message{});
+    spawn_tick(0, EventClass::kRetransmitTick, events_.retransmit_tick);
   });
   timers_.schedule_periodic(opts_.heartbeat_interval, [this] {
-    if (crashed_.load(std::memory_order_acquire)) return;
-    spawn(EventClass::kHeartbeatTick, events_.heartbeat_tick, Message{});
+    spawn_tick(1, EventClass::kHeartbeatTick, events_.heartbeat_tick);
   });
   timers_.schedule_periodic(opts_.fd_timeout, [this] {
-    if (crashed_.load(std::memory_order_acquire)) return;
-    spawn(EventClass::kFdCheckTick, events_.fd_check_tick, Message{});
+    spawn_tick(2, EventClass::kFdCheckTick, events_.fd_check_tick);
   });
   timers_.schedule_periodic(opts_.cs_retry_interval, [this] {
-    if (crashed_.load(std::memory_order_acquire)) return;
-    spawn(EventClass::kCsRetryTick, events_.cs_retry_tick, Message{});
+    spawn_tick(3, EventClass::kCsRetryTick, events_.cs_retry_tick);
   });
 }
 

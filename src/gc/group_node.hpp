@@ -12,6 +12,8 @@
 // argument carries over to the distributed setting unchanged.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -157,6 +159,12 @@ class GroupNode {
   /// stop_timers() first if the node should actually become idle.
   void drain() { runtime_->drain(); }
 
+  /// Periodic tick computations skipped because the previous tick of the
+  /// same class had not completed (see spawn_tick).
+  std::uint64_t ticks_coalesced() const {
+    return ticks_coalesced_.load(std::memory_order_relaxed);
+  }
+
  private:
   enum class EventClass {
     kRcData,
@@ -176,6 +184,13 @@ class GroupNode {
 
   Isolation spec(EventClass klass) const;
   ComputationHandle spawn(EventClass klass, const EventType& ev, Message msg);
+  /// Spawn a periodic tick computation unless the previous tick of the
+  /// same class is still in flight (tick coalescing). A stalled stack —
+  /// e.g. a view change blocking head-of-line — would otherwise accumulate
+  /// one blocked computation per interval, unboundedly growing the thread
+  /// pool; a tick re-run on the next interval observes the same state, so
+  /// skipping loses nothing.
+  void spawn_tick(std::size_t slot, EventClass klass, const EventType& ev);
   void on_packet(const net::Packet& packet);
   void build_stack();
   void bind_all();
@@ -200,6 +215,13 @@ class GroupNode {
   DeliverSink* sink_ = nullptr;
 
   std::unique_ptr<Runtime> runtime_;
+  // Tick-coalescing state is used by timer callbacks, so it must be
+  // declared before timers_: the TimerService destructor joins its thread,
+  // and anything declared after it would be destroyed while a callback
+  // can still be running.
+  std::mutex tick_mu_;
+  std::array<ComputationHandle, 4> last_tick_;  // one slot per tick class
+  std::atomic<std::uint64_t> ticks_coalesced_{0};
   net::TimerService timers_;
   std::atomic<bool> started_{false};
   std::atomic<bool> crashed_{false};

@@ -1,0 +1,211 @@
+// Blocked-state registry + deadlock watchdog tests.
+//
+// The acceptance bar for the diag layer: when a run is wedged, the dump
+// must *name* the cycle — which computation waits on which gate version,
+// and which computation holds it — rather than just reporting "stuck".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "cc/controller.hpp"
+#include "cc/version_gate.hpp"
+#include "diag/wait_registry.hpp"
+#include "diag/watchdog.hpp"
+#include "util/sync.hpp"
+
+namespace samoa {
+namespace {
+
+using namespace std::chrono_literals;
+using diag::WaitRegistry;
+
+TEST(WaitRegistry, RecordsAndRemovesWaits) {
+  auto& reg = WaitRegistry::instance();
+  const auto before = reg.wait_count();
+  {
+    diag::ScopedWait wait(diag::WaitKind::kExternal, nullptr, "unit", 7, 8, 3);
+    EXPECT_EQ(reg.wait_count(), before + 1);
+    const diag::Dump dump = reg.snapshot();
+    bool found = false;
+    for (const auto& w : dump.waits) {
+      if (w.subject_name == "unit" && w.awaiting_lo == 7 && w.observed == 3) found = true;
+    }
+    EXPECT_TRUE(found) << "registered wait missing from snapshot";
+  }
+  EXPECT_EQ(reg.wait_count(), before);
+}
+
+TEST(WaitRegistry, TracksHoldersUntilRelease) {
+  auto& reg = WaitRegistry::instance();
+  int subject_tag = 0;  // any unique address works as a subject
+  reg.note_admission(&subject_tag, "holders-mp", 1, 101);
+  reg.note_admission(&subject_tag, "holders-mp", 2, 102);
+
+  auto holders_of = [&](const diag::Dump& d) -> std::vector<diag::HolderEntry> {
+    for (const auto& s : d.subjects) {
+      if (s.subject == &subject_tag) return s.holders;
+    }
+    return {};
+  };
+  auto held = holders_of(reg.snapshot());
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(held[0].version, 1u);
+  EXPECT_EQ(held[0].comp, 101u);
+
+  reg.note_release(&subject_tag, 1);  // v1 published: only v2 outstanding
+  held = holders_of(reg.snapshot());
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].version, 2u);
+  EXPECT_EQ(held[0].comp, 102u);
+
+  reg.forget_subject(&subject_tag);
+  EXPECT_TRUE(holders_of(reg.snapshot()).empty());
+}
+
+TEST(WaitRegistry, ProgressEpochAdvancesOnGatePublish) {
+  auto& reg = WaitRegistry::instance();
+  const auto before = reg.progress_epoch();
+  VersionGate gate;
+  gate.set_lv(1);
+  EXPECT_GT(reg.progress_epoch(), before);
+}
+
+// Two computations, two gates, crossed waits: comp 1 holds gate A's v1
+// and waits on gate B; comp 2 holds gate B's v1 and waits on gate A. The
+// snapshot must derive both wait-for edges and name the cycle.
+class CrossedGateDeadlock {
+ public:
+  CrossedGateDeadlock() {
+    WaitRegistry::instance().note_admission(&gate_a_, "mp-A", 1, 1);
+    WaitRegistry::instance().note_admission(&gate_b_, "mp-B", 1, 2);
+    t1_ = std::thread([this] {
+      diag::ScopedComputation as_comp(1);
+      gate_b_.wait_exact(1, stats_, "mp-B");  // blocked until comp 2 publishes
+      done_.fetch_add(1);
+    });
+    t2_ = std::thread([this] {
+      diag::ScopedComputation as_comp(2);
+      gate_a_.wait_exact(1, stats_, "mp-A");  // blocked until comp 1 publishes
+      done_.fetch_add(1);
+    });
+    // Wait until both threads actually parked.
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (parked_waits() < 2 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+
+  ~CrossedGateDeadlock() {
+    // Break the deadlock so the test can end: publish both versions.
+    gate_a_.set_lv(1);
+    gate_b_.set_lv(1);
+    t1_.join();
+    t2_.join();
+    WaitRegistry::instance().forget_subject(&gate_a_);
+    WaitRegistry::instance().forget_subject(&gate_b_);
+  }
+
+  std::size_t parked_waits() const {
+    const auto dump = WaitRegistry::instance().snapshot();
+    std::size_t n = 0;
+    for (const auto& w : dump.waits) {
+      if (w.subject == &gate_a_ || w.subject == &gate_b_) ++n;
+    }
+    return n;
+  }
+
+ private:
+  VersionGate gate_a_;
+  VersionGate gate_b_;
+  CCStats stats_;
+  std::thread t1_;
+  std::thread t2_;
+  std::atomic<int> done_{0};
+};
+
+TEST(WaitRegistry, NamesTheCycleOnCrossedGateWaits) {
+  CrossedGateDeadlock wedge;
+  ASSERT_EQ(wedge.parked_waits(), 2u) << "deadlock fixture failed to park both threads";
+
+  const diag::Dump dump = WaitRegistry::instance().snapshot();
+  ASSERT_FALSE(dump.cycle.empty()) << "cycle detection missed a 2-cycle:\n" << dump.to_text();
+  // The cycle must name both gates, the versions, and the holders.
+  const std::string text = dump.to_text();
+  EXPECT_NE(text.find("DEADLOCK CYCLE"), std::string::npos) << text;
+  EXPECT_NE(text.find("mp-A"), std::string::npos) << text;
+  EXPECT_NE(text.find("mp-B"), std::string::npos) << text;
+  EXPECT_NE(text.find("needs v1"), std::string::npos) << text;
+  EXPECT_NE(text.find("held by comp"), std::string::npos) << text;
+
+  const std::string json = dump.to_json();
+  EXPECT_NE(json.find("\"deadlock\":true"), std::string::npos) << json;
+}
+
+TEST(DeadlockWatchdog, FiresOnStallAndReportsCycle) {
+  std::atomic<int> stalls_seen{0};
+  std::string cycle_text;
+  std::mutex text_mu;
+
+  diag::WatchdogOptions opts;
+  opts.budget = 300ms;
+  opts.poll = 20ms;
+  opts.name = "diag-test";
+  opts.dump_to_stderr = false;
+  opts.on_stall = [&](const diag::Dump& dump) {
+    std::unique_lock lock(text_mu);
+    if (stalls_seen.fetch_add(1) == 0) cycle_text = dump.to_text();
+  };
+  diag::DeadlockWatchdog dog(opts);
+
+  {
+    CrossedGateDeadlock wedge;
+    ASSERT_EQ(wedge.parked_waits(), 2u);
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (stalls_seen.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+  ASSERT_GE(stalls_seen.load(), 1) << "watchdog never detected the induced deadlock";
+  EXPECT_GE(dog.stalls(), 1u);
+  std::unique_lock lock(text_mu);
+  EXPECT_NE(cycle_text.find("DEADLOCK CYCLE"), std::string::npos) << cycle_text;
+  EXPECT_NE(cycle_text.find("held by comp"), std::string::npos) << cycle_text;
+}
+
+TEST(DeadlockWatchdog, StaysQuietWhenIdle) {
+  // An idle process — no parked waits, no queued work — must not count as
+  // a stall even though the progress epoch is frozen.
+  diag::WatchdogOptions opts;
+  opts.budget = 100ms;
+  opts.poll = 10ms;
+  opts.name = "idle-test";
+  opts.dump_to_stderr = false;
+  diag::DeadlockWatchdog dog(opts);
+  std::this_thread::sleep_for(400ms);
+  EXPECT_EQ(dog.stalls(), 0u);
+}
+
+TEST(DeadlockWatchdog, KickResetsTheWindow) {
+  diag::WatchdogOptions opts;
+  opts.budget = 200ms;
+  opts.poll = 10ms;
+  opts.name = "kick-test";
+  opts.dump_to_stderr = false;
+  std::atomic<int> stalls_seen{0};
+  opts.on_stall = [&](const diag::Dump&) { stalls_seen.fetch_add(1); };
+  diag::DeadlockWatchdog dog(opts);
+
+  // Hold a wait open (so the stall predicate is armed) but keep kicking:
+  // progress resets the window, so no stall may fire.
+  diag::ScopedWait wait(diag::WaitKind::kExternal, nullptr, "kicked", 0, 0, 0);
+  for (int i = 0; i < 10; ++i) {
+    std::this_thread::sleep_for(50ms);
+    dog.kick();
+  }
+  EXPECT_EQ(stalls_seen.load(), 0);
+}
+
+}  // namespace
+}  // namespace samoa

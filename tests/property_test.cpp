@@ -4,8 +4,14 @@
 // the repository's main correctness oracle for the VCA algorithms.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <tuple>
+#include <vector>
 
+#include "cc/controller.hpp"
+#include "cc/version_gate.hpp"
+#include "diag/watchdog.hpp"
 #include "test_support.hpp"
 
 namespace samoa {
@@ -210,6 +216,110 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(to_string(std::get<0>(info.param))) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
+
+// Gate wakeup property: every version published through a GateTable gate
+// wakes all waiters whose predicate it satisfies, under randomized
+// publish methods (set_lv / increment_lv / deferred schedule_set chains),
+// randomized wait styles (exact and window) and randomized timing.
+//
+// The model mirrors the protocol's structure: the waiter admitted at
+// version v is the only publisher of v (Step 3), so lv never races past a
+// version whose waiter has not proceeded — the same invariant that makes
+// the real algorithms lost-wakeup-free. "Deferred" versions model
+// VCAroute's Rule 4(b): no thread waits for them, the schedule_set chain
+// publishes them off the back of the preceding publish. A lost wakeup
+// strands a waiter forever; the fail-fast watchdog converts that into an
+// abort with a blocked-state dump instead of a ctest timeout. The TSan CI
+// job runs this test to also catch the data-race flavor of the same bug.
+TEST(GateWakeupProperty, PublishAlwaysWakesAllMatchingWaiters) {
+  diag::WatchdogOptions wopts;
+  wopts.budget = std::chrono::milliseconds(30000);
+  wopts.name = "gate_wakeup_property";
+  wopts.abort_on_stall = true;
+  diag::DeadlockWatchdog dog(wopts);
+
+  for (std::uint64_t seed : {5u, 23u, 101u, 424u, 1009u, 31337u}) {
+    Rng rng(seed);
+    GateTable gates;
+    VersionGate& gate = gates.gate(MicroprotocolId{1});
+    constexpr std::uint64_t kVersions = 16;
+
+    // Per-version publish method, fixed up-front. Deferred versions are
+    // scheduled before any waiter starts, so they exercise the true
+    // deferred path of apply_deferred (consecutive deferrals chain).
+    enum class Pub { kSet, kIncrement, kDeferred };
+    std::vector<Pub> method(kVersions + 1, Pub::kSet);
+    for (std::uint64_t v = 2; v <= kVersions; ++v) {
+      const auto r = rng.next_below(3);
+      method[v] = r == 0 ? Pub::kSet : (r == 1 ? Pub::kIncrement : Pub::kDeferred);
+      if (method[v] == Pub::kDeferred) gate.schedule_set(v - 1, v);
+    }
+
+    std::atomic<std::uint64_t> woken{0};
+    CCStats stats;
+    std::vector<std::thread> waiters;
+    for (std::uint64_t v = 1; v <= kVersions; ++v) {
+      if (method[v] == Pub::kDeferred) continue;  // published by the chain
+      // Exact wait (VCAbasic/route) or window wait (VCAbound). The model's
+      // windows overlap (several can be open at one lv), unlike real
+      // VCAbound where admission tiles disjoint [pv-bound, pv) windows per
+      // gate — so a window waiter released early must still wait for its
+      // exact predecessor before publishing, or its set_lv(v) could skip
+      // straight past a slower waiter's still-open window (exactly the
+      // single-closer-per-version invariant the real controllers keep).
+      const bool exact = rng.chance(0.5);
+      const std::uint64_t lo = exact ? v - 1 : (v - 1) - rng.next_below(std::min<std::uint64_t>(v, 3));
+      const auto spin = std::chrono::nanoseconds(rng.next_below(50000));
+      waiters.emplace_back([&, v, exact, lo, spin] {
+        if (exact) {
+          gate.wait_exact(v - 1, stats, "wakeup-property");
+        } else {
+          gate.wait_window(lo, v, stats, "wakeup-property");
+          gate.wait_exact(v - 1, stats, "wakeup-property");
+        }
+        spin_for(spin);
+        if (method[v] == Pub::kIncrement) {
+          gate.increment_lv();
+        } else {
+          gate.set_lv(v);
+        }
+        woken.fetch_add(1);
+      });
+    }
+    const auto expected_woken = waiters.size();
+
+    for (auto& t : waiters) t.join();
+    EXPECT_EQ(woken.load(), expected_woken) << "seed=" << seed;
+    EXPECT_EQ(gate.lv(), kVersions) << "seed=" << seed;
+  }
+}
+
+// Regression pin for the E2 join-flood livelock: a publish must wake only
+// the waiter(s) whose window it opens, never the whole parked population.
+// With the broadcast-wakeup gate, each of the K publishes below woke every
+// parked waiter (O(K^2) total); the targeted gate delivers at most one
+// notification per parked waiter, so the counter is bounded by the number
+// of waits that ever parked.
+TEST(GateWakeupProperty, PublishWakesOnlyMatchingWaiters) {
+  GateTable gates;
+  VersionGate& gate = gates.gate(MicroprotocolId{1});
+  CCStats stats;
+  constexpr std::uint64_t kWaiters = 64;
+
+  std::vector<std::thread> waiters;
+  for (std::uint64_t v = 1; v <= kWaiters; ++v) {
+    waiters.emplace_back([&gate, &stats, v] {
+      gate.wait_exact(v - 1, stats, "targeted-wakeup");
+      gate.set_lv(v);
+    });
+  }
+  for (auto& t : waiters) t.join();
+
+  EXPECT_EQ(gate.lv(), kWaiters);
+  // Each parked waiter is notified exactly once (waiters that found their
+  // version already published never parked and cost zero notifications).
+  EXPECT_LE(gate.wakeups_delivered(), kWaiters);
+}
 
 }  // namespace
 }  // namespace samoa
