@@ -1,0 +1,90 @@
+// Schedule-exploration sweep (E-EXPLORE) — the numbers behind the
+// EXPERIMENTS.md entry and the nightly CI job.
+//
+// Runs the standard conflicting cell (4 computations x 3 triggers over a
+// 3-mp stack with a shared hotspot) under every controller policy and
+// every exploration strategy, and reports per cell: schedules executed,
+// decision points recorded, wall cost, and — when a violation is found —
+// the trace sizes before and after shrinking. The sanity gate doubles as
+// the exit code: kUnsync must be flagged non-isolated by every strategy
+// within the budget, and kSerial, the VCA family and kTSO must stay clean.
+//
+// Usage: bench_explore [max_schedules] [seed]   (defaults 64, 42)
+// Honors SAMOA_EXPLORE_SCHEDULES (budget multiplier) and
+// SAMOA_EXPLORE_DUMP_DIR (shrunk-trace dumps) like the tests do.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "diag/watchdog.hpp"
+#include "explore/runner.hpp"
+
+int main(int argc, char** argv) {
+  samoa::diag::install_env_watchdog("bench_explore");
+  using namespace samoa;
+  using namespace samoa::explore;
+
+  CellOptions base;
+  base.max_schedules =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : std::size_t{64};
+  base.seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+
+  const std::vector<CCPolicy> policies{CCPolicy::kSerial,   CCPolicy::kUnsync,
+                                       CCPolicy::kVCABasic, CCPolicy::kVCABound,
+                                       CCPolicy::kVCARoute, CCPolicy::kVCARW,
+                                       CCPolicy::kTSO};
+  const std::vector<StrategyKind> strategies{StrategyKind::kRandomWalk, StrategyKind::kPct,
+                                             StrategyKind::kExhaustive};
+
+  std::printf("E-EXPLORE — schedule exploration, %d policies x %d strategies, budget %zu "
+              "schedules/cell (x SAMOA_EXPLORE_SCHEDULES), workload seed %llu\n\n",
+              static_cast<int>(policies.size()), static_cast<int>(strategies.size()),
+              base.max_schedules, static_cast<unsigned long long>(base.seed));
+  std::printf("%-10s %-11s %10s %10s %9s %9s  %s\n", "policy", "strategy", "schedules",
+              "decisions", "wall-ms", "us/sched", "verdict");
+
+  bool unsync_flagged_by_all = true;
+  bool isolating_clean = true;
+  for (StrategyKind strategy : strategies) {
+    bool unsync_flagged = false;
+    for (CCPolicy policy : policies) {
+      CellOptions opts = base;
+      opts.policy = policy;
+      opts.strategy = strategy;
+      const auto start = Clock::now();
+      const CellResult r = explore_cell(opts);
+      const double wall_ms = bench::ns_since(start) / 1e6;
+      const double us_per = r.schedules_run == 0
+                                ? 0.0
+                                : wall_ms * 1e3 / static_cast<double>(r.schedules_run);
+
+      char verdict[128];
+      if (r.violation_found) {
+        std::snprintf(verdict, sizeof(verdict), "VIOLATION (trace %zu -> shrunk %zu)",
+                      r.first_violation.size(), r.shrunk.size());
+      } else {
+        std::snprintf(verdict, sizeof(verdict), "clean");
+      }
+      std::printf("%-10s %-11s %10zu %10llu %9.1f %9.1f  %s\n", to_string(policy),
+                  to_string(strategy), r.schedules_run,
+                  static_cast<unsigned long long>(r.decision_points), wall_ms, us_per, verdict);
+
+      if (policy == CCPolicy::kUnsync) {
+        unsync_flagged = r.violation_found;
+      } else if (r.violation_found) {
+        isolating_clean = false;
+        std::printf("  !! %s should be isolated; repro:\n%s\n", to_string(policy),
+                    r.repro.c_str());
+      }
+    }
+    if (!unsync_flagged) {
+      unsync_flagged_by_all = false;
+      std::printf("  !! %s failed to flag kUnsync within the budget\n", to_string(strategy));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("sanity gate: unsync flagged by all strategies = %s, isolating policies clean = %s\n",
+              unsync_flagged_by_all ? "yes" : "NO", isolating_clean ? "yes" : "NO");
+  return (unsync_flagged_by_all && isolating_clean) ? 0 : 1;
+}

@@ -15,7 +15,8 @@ class SerialComputationCC : public ComputationCC {
       ctrl_.stats_.gate_waits.add();
       const auto start = Clock::now();
       std::condition_variable cv;
-      ctrl_.waiters_.emplace(ticket_, &cv);
+      ctrl_.waiters_.emplace(ticket_,
+                             SerialController::TurnWaiter{&cv, diag::current_computation(), false});
       {
         diag::ScopedWait wait(diag::WaitKind::kSerialTurn, &ctrl_, "serial", ticket_, ticket_ + 1,
                               ctrl_.now_serving_);
@@ -40,7 +41,13 @@ class SerialComputationCC : public ComputationCC {
     // Wake only the next ticket (if it is already parked; if not, it will
     // see now_serving_ when it reaches on_start).
     const auto it = ctrl_.waiters_.find(ctrl_.now_serving_);
-    if (it != ctrl_.waiters_.end()) it->second->notify_one();
+    if (it != ctrl_.waiters_.end()) {
+      it->second.cv->notify_one();
+      if (!it->second.counted) {
+        it->second.counted = true;
+        diag::WaitRegistry::instance().note_wakeup_delivered(it->second.comp);
+      }
+    }
   }
 
  private:

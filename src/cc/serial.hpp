@@ -33,12 +33,21 @@ class SerialController : public ConcurrencyController {
  private:
   friend class SerialComputationCC;
 
+  /// One parked ticket: its cv plus the waiting computation (wakeup
+  /// accounting for the schedule explorer — `counted` guards the single
+  /// delivery report per park). Stack-allocated by the waiting thread.
+  struct TurnWaiter {
+    std::condition_variable* cv = nullptr;
+    std::uint64_t comp = 0;
+    bool counted = false;
+  };
+
   std::mutex mu_;
   std::uint64_t next_ticket_ = 0;
   std::uint64_t now_serving_ = 0;
-  /// ticket -> that ticket's parked cv (tickets are unique, so at most one
-  /// waiter per key; stack-allocated by the waiting thread).
-  std::unordered_map<std::uint64_t, std::condition_variable*> waiters_;
+  /// ticket -> that ticket's parked waiter (tickets are unique, so at most
+  /// one waiter per key).
+  std::unordered_map<std::uint64_t, TurnWaiter> waiters_;
 };
 
 }  // namespace samoa

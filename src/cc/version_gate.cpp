@@ -22,6 +22,7 @@ void VersionGate::wait_exact(std::uint64_t pv_minus_1, CCStats& stats, const cha
   Waiter self;
   self.lo = pv_minus_1;
   self.hi = pv_minus_1 + 1;
+  self.comp = diag::current_computation();
   exact_waiters_.emplace(pv_minus_1, &self);
   {
     // Registering the wait also releases this worker's runnable slot in
@@ -51,6 +52,7 @@ void VersionGate::wait_window(std::uint64_t lo, std::uint64_t hi, CCStats& stats
   Waiter self;
   self.lo = lo;
   self.hi = hi;
+  self.comp = diag::current_computation();
   window_waiters_.push_back(&self);
   {
     diag::ScopedWait wait(diag::WaitKind::kGateWindow, this, who, lo, hi, lv_);
@@ -112,13 +114,22 @@ void VersionGate::apply_deferred_locked() {
 void VersionGate::wake_matching_locked() {
   const auto [begin, end] = exact_waiters_.equal_range(lv_);
   for (auto it = begin; it != end; ++it) {
-    it->second->cv.notify_one();
+    Waiter* w = it->second;
+    w->cv.notify_one();
     ++wakeups_delivered_;
+    if (!w->counted) {
+      w->counted = true;
+      diag::WaitRegistry::instance().note_wakeup_delivered(w->comp);
+    }
   }
   for (Waiter* w : window_waiters_) {
     if (w->lo <= lv_ && lv_ < w->hi) {
       w->cv.notify_one();
       ++wakeups_delivered_;
+      if (!w->counted) {
+        w->counted = true;
+        diag::WaitRegistry::instance().note_wakeup_delivered(w->comp);
+      }
     }
   }
 }

@@ -77,11 +77,17 @@ class VersionGate {
  private:
   /// One parked thread: its own cv plus the window [lo, hi) of lv values
   /// it can proceed under (hi == lo + 1 for exact waits). Stack-allocated
-  /// by the waiting thread; lives until its wait returns.
+  /// by the waiting thread; lives until its wait returns. `comp` is the
+  /// waiting computation and `counted` guards the one wakeup-delivered
+  /// report per park that the schedule explorer's accounting relies on (a
+  /// window waiter can be notified at several intermediate lv values of a
+  /// deferred chain before it runs; only the first may count).
   struct Waiter {
     std::condition_variable cv;
     std::uint64_t lo = 0;
     std::uint64_t hi = 0;
+    std::uint64_t comp = 0;
+    bool counted = false;
   };
 
   void apply_deferred_locked();

@@ -32,6 +32,9 @@ void Computation::finalize() {
   } catch (...) {
     record_error(std::current_exception());
   }
+  // on_complete may have parked (Step 3's wait) and lost the exploration
+  // token; re-acquire it before the observable completion transitions.
+  if (StepHook* hook = runtime_.step_hook()) hook->resync(id_);
   // Book-keeping before the completion signal: a waiter woken by
   // completed_ must observe the runtime's final counters.
   runtime_.on_computation_done(id_);

@@ -60,9 +60,20 @@ void Context::dispatch(const EventType& type, const Message& msg, Fanout fanout,
   }
 }
 
+void Context::yield_point(const char* label) {
+  if (StepHook* hook = comp_->runtime().step_hook()) hook->step_point(comp_->id(), label);
+}
+
 void Context::run_handler_now(const Handler& h, const Message& msg) {
   Runtime& rt = comp_->runtime();
+  // A scheduling point before the gate: the explorer may interleave any
+  // other runnable computation between the issue and this execution.
+  if (StepHook* hook = rt.step_hook()) hook->step_point(comp_->id(), "before-execute");
   comp_->cc().before_execute(h);  // version gate (Rule 2); may block
+  // The gate may have parked this thread (releasing the exploration token
+  // via the wait observer); re-acquire it before the kStart record so the
+  // trace order is schedule-determined, not OS-timing-determined.
+  if (StepHook* hook = rt.step_hook()) hook->resync(comp_->id());
   if (TraceRecorder* tr = rt.trace()) {
     tr->record(TracePhase::kStart, comp_->id(), h.owner().id(), h.id(), h.read_only());
   }
@@ -89,10 +100,13 @@ void Context::run_handler_now(const Handler& h, const Message& msg) {
 
 void Context::enqueue_handler(const Handler& h, Message msg) {
   comp_->task_started();
+  StepHook* hook = comp_->runtime().step_hook();
+  const std::uint64_t ticket = hook != nullptr ? hook->on_task_submitted(comp_->id()) : 0;
   auto comp = comp_;
   comp_->runtime().pool().submit(
-      [comp, &h, msg = std::move(msg)]() mutable {
+      [comp, &h, hook, ticket, msg = std::move(msg)]() mutable {
         diag::ScopedComputation diag_scope(comp->id().value());
+        if (hook != nullptr) hook->on_task_started(comp->id(), ticket);
         Context ctx(comp, HandlerId{});
         try {
           ctx.run_handler_now(h, msg);
@@ -102,6 +116,7 @@ void Context::enqueue_handler(const Handler& h, Message msg) {
           comp->record_error(std::current_exception());
         }
         comp->task_finished();
+        if (hook != nullptr) hook->on_task_finished(comp->id());
       },
       comp->id().value());
 }

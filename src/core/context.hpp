@@ -38,6 +38,14 @@ class Context {
   void async_trigger(const EventType& type, Message msg = {});
   void async_trigger_all(const EventType& type, Message msg = {});
 
+  /// Voluntary scheduling point for the schedule explorer: under an
+  /// exploring runtime, hands the interleaving token back and blocks until
+  /// re-granted (any other runnable computation may run in between).
+  /// Without a StepHook this is a no-op — handler bodies in fuzzable
+  /// workloads can sprinkle these freely. `label` names the point in
+  /// decision traces.
+  void yield_point(const char* label = "");
+
   Runtime& runtime() const;
   Stack& stack() const;
   Computation& computation() const { return *comp_; }

@@ -46,9 +46,13 @@ ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Con
     if (trace_) trace_->record(TracePhase::kSpawn, id, MicroprotocolId{}, HandlerId{});
 
     comp->task_started();  // the root expression counts as one task
+    const std::uint64_t ticket =
+        opts_.step_hook != nullptr ? opts_.step_hook->on_task_submitted(id) : 0;
     pool_.submit(
-        [this, comp, root = std::move(root)] {
+        [this, comp, ticket, root = std::move(root)] {
       diag::ScopedComputation diag_scope(comp->id().value());
+      StepHook* hook = opts_.step_hook;
+      if (hook != nullptr) hook->on_task_started(comp->id(), ticket);
       // The loop only repeats under TSO, whose wait-die losers roll back
       // their TxVar state and re-run with a fresh timestamp. The versioning
       // controllers never abort, so the first pass is the only pass.
@@ -57,6 +61,10 @@ ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Con
         Context ctx(comp, HandlerId{});
         try {
           comp->cc().on_start();
+          // on_start may have parked (serial turnstile) and lost the
+          // exploration token; re-acquire it with no locks held before
+          // running observable work.
+          if (hook != nullptr) hook->resync(comp->id());
           root(ctx);
         } catch (const RestartNeeded&) {
           // Order matters: roll the TxVar state back *while the claims are
@@ -64,6 +72,7 @@ ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Con
           // (and build on) state the rollback is about to clobber.
           comp->undo_log().rollback();  // restore TxVar state
           comp->cc().on_abort();        // then release claims; keeps its timestamp
+          if (hook != nullptr) hook->resync(comp->id());  // on_abort may park (death wait)
           // Everything this pass touched has been undone; tell the trace so
           // the isolation checker ignores the aborted accesses. The retry
           // keeps the original timestamp (classic wait-die), so a restarted
@@ -86,7 +95,12 @@ ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Con
         break;
       }
       comp->cc().on_root_done();
+      if (hook != nullptr) hook->resync(comp->id());
+      // If this was the computation's last task, task_finished runs
+      // finalize (on_complete + completion signal) on this thread, still
+      // under the exploration token; the token is released for good below.
       comp->task_finished();
+      if (hook != nullptr) hook->on_task_finished(comp->id());
         },
         id.value());
   } catch (...) {

@@ -20,6 +20,7 @@
 #include "core/computation.hpp"
 #include "core/context.hpp"
 #include "core/stack.hpp"
+#include "core/step_hook.hpp"
 #include "core/trace.hpp"
 #include "time/clock.hpp"
 #include "util/stats.hpp"
@@ -37,6 +38,10 @@ struct RuntimeOptions {
   /// time::VirtualClock the runtime holds one activity pin per in-flight
   /// computation, so virtual time stands still while computations run.
   time::ClockSource* clock = nullptr;
+  /// Schedule-exploration seam (see core/step_hook.hpp). Null — the
+  /// default — costs one pointer test per scheduling point; non-null
+  /// serializes all computation tasks behind the hook's token scheduler.
+  StepHook* step_hook = nullptr;
 };
 
 class Runtime {
@@ -61,6 +66,9 @@ class Runtime {
 
   /// Null when tracing is off.
   TraceRecorder* trace() { return trace_ ? trace_.get() : nullptr; }
+
+  /// Null unless a schedule explorer drives this runtime.
+  StepHook* step_hook() { return opts_.step_hook; }
 
   struct Stats {
     Counter spawned;

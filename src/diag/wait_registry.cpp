@@ -16,6 +16,10 @@ const char* to_string(WaitKind kind) {
       return "gate-window";
     case WaitKind::kSerialTurn:
       return "serial-turn";
+    case WaitKind::kClaim:
+      return "claim";
+    case WaitKind::kClaimAbort:
+      return "claim-abort";
     case WaitKind::kDrain:
       return "drain";
     case WaitKind::kCompletion:
@@ -408,15 +412,19 @@ ScopedWait::ScopedWait(WaitKind kind, const void* subject, std::string subject_n
   rec.comp = current_computation();
   rec.thread = std::this_thread::get_id();
   rec.since = std::chrono::steady_clock::now();
+  kind_ = kind;
+  comp_ = rec.comp;
   pool_ = samoa::ElasticThreadPool::current();
   rec.pool = pool_;
   id_ = WaitRegistry::instance().add_wait(std::move(rec));
   // Release this worker's runnable slot for the duration of the park —
   // the pool may need to grow to run the task that unblocks us.
   if (pool_ != nullptr) pool_->note_worker_parked();
+  if (WaitObserver* obs = WaitRegistry::instance().observer()) obs->on_wait_park(kind_, comp_);
 }
 
 ScopedWait::~ScopedWait() {
+  if (WaitObserver* obs = WaitRegistry::instance().observer()) obs->on_wait_unpark(kind_, comp_);
   if (pool_ != nullptr) pool_->note_worker_unparked();
   WaitRegistry::instance().remove_wait(id_);
 }

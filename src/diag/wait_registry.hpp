@@ -44,12 +44,37 @@ enum class WaitKind {
   kGateExact,   // VersionGate::wait_exact (VCAbasic/route/rw Rule 2, Step 3)
   kGateWindow,  // VersionGate::wait_window (VCAbound Rule 2/3)
   kSerialTurn,  // serial controller turnstile (on_start)
+  kClaim,       // TSO claim wait (wait-die: older computation parks)
+  kClaimAbort,  // TSO post-abort wait for the killer claim to clear
   kDrain,       // Runtime::drain waiting for inflight_ to empty
   kCompletion,  // ComputationHandle/Computation wait_done
   kExternal,    // test/bench-registered wait (e.g. polling loops)
 };
 
 const char* to_string(WaitKind kind);
+
+/// Observer of park/unpark/wakeup transitions, for schedule exploration.
+///
+/// The explorer needs two things the registry already sees: (1) "this
+/// thread is about to park in a controller wait" / "it resumed", so it can
+/// release and re-arm the scheduling token, and (2) "a wakeup was handed to
+/// computation `comp`", so it can defer scheduling decisions until every
+/// delivered-but-not-yet-consumed wakeup has landed (otherwise the runnable
+/// set at a decision point would depend on OS thread timing and replay
+/// would diverge).
+///
+/// Calls arrive on the transitioning thread (park/unpark: the waiter
+/// itself, from the ScopedWait ctor/dtor; wakeup_delivered: the publisher,
+/// from inside the subject's wake path). The subject's mutex may be held
+/// for any of them, so implementations must treat their own lock as a leaf
+/// and must never block. Exactly one observer may be installed at a time.
+class WaitObserver {
+ public:
+  virtual ~WaitObserver() = default;
+  virtual void on_wait_park(WaitKind kind, std::uint64_t comp) = 0;
+  virtual void on_wait_unpark(WaitKind kind, std::uint64_t comp) = 0;
+  virtual void on_wakeup_delivered(std::uint64_t comp) = 0;
+};
 
 /// One parked thread. `subject` identifies what it waits on (a gate or
 /// controller address); `awaiting_lo`/`awaiting_hi` the version window it
@@ -157,6 +182,22 @@ class WaitRegistry {
   /// traffic, which pure no-progress detection is blind to).
   std::chrono::steady_clock::duration oldest_wait_age() const;
 
+  // --- wait observer (schedule exploration) ---
+  /// Install/remove the process-wide observer. Install before any observed
+  /// runtime starts and remove after it drains; the registry does not
+  /// synchronise observer lifetime against in-flight waits.
+  void set_observer(WaitObserver* obs) { observer_.store(obs, std::memory_order_release); }
+  void clear_observer() { observer_.store(nullptr, std::memory_order_release); }
+  WaitObserver* observer() const { return observer_.load(std::memory_order_acquire); }
+
+  /// Wake paths (VersionGate, serial turnstile, TSO claims) report each
+  /// wakeup they hand to a parked computation, at most once per park (the
+  /// caller guards with a per-waiter flag). Called under the subject's
+  /// mutex; forwards to the observer if one is installed.
+  void note_wakeup_delivered(std::uint64_t comp) {
+    if (WaitObserver* obs = observer()) obs->on_wakeup_delivered(comp);
+  }
+
   // -- internal (ScopedWait) --
   std::uint64_t add_wait(WaitRecord rec);
   void remove_wait(std::uint64_t id);
@@ -174,6 +215,7 @@ class WaitRegistry {
   std::vector<samoa::ElasticThreadPool*> pools_;
   std::uint64_t next_wait_id_ = 1;
   std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<WaitObserver*> observer_{nullptr};
 };
 
 /// RAII wait registration. Construct immediately before parking (the
@@ -192,6 +234,8 @@ class ScopedWait {
  private:
   std::uint64_t id_ = 0;
   samoa::ElasticThreadPool* pool_ = nullptr;
+  WaitKind kind_ = WaitKind::kExternal;
+  std::uint64_t comp_ = 0;
 };
 
 /// Thread-local id of the computation whose task runs on this thread

@@ -2,9 +2,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+
+#include "time/clock.hpp"
 
 namespace samoa::diag {
 
@@ -27,19 +30,44 @@ void DeadlockWatchdog::loop() {
   std::uint64_t last_epoch = reg.progress_epoch();
   auto last_change = std::chrono::steady_clock::now();
   bool reported_this_stall = false;
+  // Clock-source-aware budgets: when watching a virtual clock, track the
+  // last simulated timestamp we saw and the wall moment it last moved.
+  const bool track_virtual = opts_.clock != nullptr && opts_.clock->is_virtual();
+  Clock::time_point last_virtual_now =
+      track_virtual ? opts_.clock->now() : Clock::time_point{};
+  auto last_virtual_change = last_change;
   std::unique_lock lock(mu_);
   while (!stop_.load(std::memory_order_relaxed)) {
     cv_.wait_for(lock, opts_.poll, [this] { return stop_.load(std::memory_order_relaxed); });
     if (stop_.load(std::memory_order_relaxed)) break;
     const auto epoch = reg.progress_epoch();
     const auto now = std::chrono::steady_clock::now();
+    if (track_virtual) {
+      const auto vnow = opts_.clock->now();
+      if (vnow != last_virtual_now) {
+        // Simulated time moving is progress even when nothing publishes:
+        // timers are firing, the scheduler keeps reaching quiescent
+        // points. Restart both windows and re-arm the stuck detector.
+        last_virtual_now = vnow;
+        last_virtual_change = now;
+        last_change = now;
+        reported_this_stall = false;
+        reported_stuck_wait_ = false;
+      }
+    }
     // Stuck-wait check first: it fires even while the epoch advances
     // (background traffic completing does not prove the oldest parked
-    // thread will ever run again).
+    // thread will ever run again). Under a virtual clock a wait's wall age
+    // only counts while the simulation is frozen — a long virtual sleep
+    // parks for real wall time without being wedged.
     std::string reason;
     if (opts_.stuck_wait_budget > std::chrono::milliseconds(0)) {
-      const auto age =
-          std::chrono::duration_cast<std::chrono::milliseconds>(reg.oldest_wait_age());
+      auto age = std::chrono::duration_cast<std::chrono::milliseconds>(reg.oldest_wait_age());
+      if (track_virtual) {
+        const auto frozen =
+            std::chrono::duration_cast<std::chrono::milliseconds>(now - last_virtual_change);
+        age = std::min(age, frozen);
+      }
       if (age >= opts_.stuck_wait_budget) {
         if (!reported_stuck_wait_) {
           reason = "oldest wait parked for " + std::to_string(age.count()) + "ms (budget " +

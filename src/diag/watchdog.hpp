@@ -16,6 +16,9 @@
 // in handlers but its watchdog thread keeps running), and the stall
 // predicate ignores an *idle* process — all workers idle, nothing queued,
 // nothing parked — so a quiescent virtual-time fixture never trips it.
+// Pointing WatchdogOptions::clock at the run's VirtualClock additionally
+// treats simulated-time advancement as progress and gates the stuck-wait
+// detector on the virtual clock being frozen.
 #pragma once
 
 #include <atomic>
@@ -27,6 +30,10 @@
 #include <thread>
 
 #include "diag/wait_registry.hpp"
+
+namespace samoa::time {
+class ClockSource;
+}
 
 namespace samoa::diag {
 
@@ -41,6 +48,17 @@ struct WatchdogOptions {
   /// embedders legitimately hold long waits (e.g. a drain over a long
   /// experiment); tests of bounded workloads should set it.
   std::chrono::milliseconds stuck_wait_budget{0};
+  /// When set to a *virtual* clock, the budgets become clock-source-aware:
+  /// virtual time advancing counts as progress (the simulation is live
+  /// even when no gate publishes), and the stuck-wait detector only trips
+  /// once the virtual clock has been frozen for a full stuck budget of
+  /// wall time. A legitimately long virtual experiment — hours of
+  /// simulated time, every wait parked on a far deadline — therefore
+  /// never false-trips, while a wedged simulation (virtual time stuck
+  /// because the scheduler cannot reach quiescence) still does. Ignored
+  /// for wall clocks, whose now() is the watchdog's own timebase. The
+  /// clock must outlive the watchdog.
+  time::ClockSource* clock = nullptr;
   /// Included in dump headers and file names.
   std::string name = "watchdog";
   /// When non-empty, the stall dump is written to

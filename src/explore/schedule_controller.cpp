@@ -1,0 +1,169 @@
+#include "explore/schedule_controller.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace samoa::explore {
+
+namespace {
+/// The participant whose task runs on this thread (null on unmanaged
+/// threads — the driver, other runtimes' workers). Set for the duration of
+/// a task body; wait-observer callbacks use it to tell managed parks from
+/// unrelated ones (kDrain, kCompletion, kExternal waits of the driver).
+thread_local ScheduleController::Participant* t_self = nullptr;
+}  // namespace
+
+ScheduleController::ScheduleController(Strategy& strategy) : strategy_(strategy) {
+  diag::WaitRegistry::instance().set_observer(this);
+}
+
+ScheduleController::~ScheduleController() { diag::WaitRegistry::instance().clear_observer(); }
+
+void ScheduleController::pause() {
+  std::lock_guard g(mu_);
+  paused_ = true;
+}
+
+void ScheduleController::resume() {
+  std::lock_guard g(mu_);
+  paused_ = false;
+  maybe_decide_locked();
+}
+
+std::uint64_t ScheduleController::steps() const {
+  std::lock_guard g(mu_);
+  return steps_;
+}
+
+std::uint64_t ScheduleController::on_task_submitted(ComputationId) {
+  std::lock_guard g(mu_);
+  ++expected_arrivals_;
+  return next_ticket_++;
+}
+
+void ScheduleController::on_task_started(ComputationId id, std::uint64_t ticket) {
+  std::unique_lock lock(mu_);
+  auto p = std::make_unique<Participant>();
+  p->comp = id.value();
+  p->ticket = ticket;
+  p->state = State::kWaiting;
+  Participant* self = p.get();
+  participants_.push_back(std::move(p));
+  t_self = self;
+  --expected_arrivals_;
+  maybe_decide_locked();
+  wait_for_grant(lock, *self);
+}
+
+void ScheduleController::on_task_finished(ComputationId) {
+  std::lock_guard g(mu_);
+  if (t_self == nullptr) return;
+  t_self->state = State::kDone;
+  t_self = nullptr;
+  token_held_ = false;
+  maybe_decide_locked();
+}
+
+void ScheduleController::step_point(ComputationId, const char*) {
+  std::unique_lock lock(mu_);
+  Participant* self = t_self;
+  if (self == nullptr || self->state != State::kRunning) return;
+  self->state = State::kWaiting;
+  token_held_ = false;
+  maybe_decide_locked();
+  wait_for_grant(lock, *self);
+}
+
+void ScheduleController::resync(ComputationId) {
+  std::unique_lock lock(mu_);
+  Participant* self = t_self;
+  if (self == nullptr) return;
+  if (self->state == State::kRunning) return;  // never parked: token still held
+  // The preceding call parked and the unpark left us kWaiting (or a
+  // decision already re-granted us): block until the token comes back.
+  wait_for_grant(lock, *self);
+}
+
+void ScheduleController::on_wait_park(diag::WaitKind, std::uint64_t) {
+  std::lock_guard g(mu_);
+  Participant* self = t_self;
+  if (self == nullptr) return;
+  if (self->state != State::kRunning && self->state != State::kWaiting) return;
+  if (self->state == State::kRunning) token_held_ = false;
+  self->state = State::kBlocked;
+  maybe_decide_locked();
+}
+
+void ScheduleController::on_wait_unpark(diag::WaitKind, std::uint64_t) {
+  std::lock_guard g(mu_);
+  Participant* self = t_self;
+  if (self == nullptr || self->state != State::kBlocked) return;
+  self->state = State::kWaiting;
+  if (in_flight_wakes_ > 0) --in_flight_wakes_;
+  maybe_decide_locked();
+}
+
+void ScheduleController::on_wakeup_delivered(std::uint64_t comp) {
+  std::lock_guard g(mu_);
+  // Count only wakeups aimed at a managed blocked task; the woken thread
+  // consumes it in on_wait_unpark. Until then no decision may be taken —
+  // the runnable set is about to change.
+  for (const auto& p : participants_) {
+    if (p->comp == comp && p->state == State::kBlocked) {
+      ++in_flight_wakes_;
+      return;
+    }
+  }
+}
+
+void ScheduleController::grant_locked(Participant& p) {
+  p.state = State::kGranted;
+  token_held_ = true;
+  p.cv.notify_one();
+}
+
+void ScheduleController::wait_for_grant(std::unique_lock<std::mutex>& lock, Participant& p) {
+  p.cv.wait(lock, [&] { return p.state == State::kGranted; });
+  p.state = State::kRunning;
+}
+
+void ScheduleController::maybe_decide_locked() {
+  if (paused_ || token_held_ || expected_arrivals_ > 0 || in_flight_wakes_ > 0) return;
+  std::vector<Participant*> cands;
+  bool any_blocked = false;
+  for (const auto& p : participants_) {
+    if (p->state == State::kWaiting) cands.push_back(p.get());
+    if (p->state == State::kBlocked) any_blocked = true;
+  }
+  if (cands.empty()) {
+    if (any_blocked) report_deadlock_locked();
+    return;  // all done (or nothing started yet)
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Participant* a, const Participant* b) { return a->ticket < b->ticket; });
+  ++steps_;
+  std::size_t idx = 0;
+  if (cands.size() > 1) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(cands.size());
+    for (const Participant* p : cands) keys.push_back(p->ticket);
+    idx = std::min(strategy_.choose('s', keys), cands.size() - 1);
+    trace_.record('s', static_cast<std::uint32_t>(idx), static_cast<std::uint32_t>(cands.size()));
+  }
+  grant_locked(*cands[idx]);
+}
+
+void ScheduleController::report_deadlock_locked() {
+  // Every live task is parked and no wake is in flight: this schedule
+  // wedged the protocol. Scream with enough context to replay, then die —
+  // the deadlock-free policies can only reach this on a real bug.
+  std::fprintf(stderr,
+               "[explore] DEADLOCK under explored schedule\n[explore] decision trace: %s\n",
+               trace_.encode().c_str());
+  const auto dump = diag::WaitRegistry::instance().snapshot();
+  std::fputs(dump.to_text().c_str(), stderr);
+  std::abort();
+}
+
+}  // namespace samoa::explore

@@ -1,0 +1,75 @@
+#include "explore/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace samoa::explore {
+
+namespace {
+
+/// Trailing index-0 decisions carry no information (replay past the
+/// trace's end already defaults to 0): drop them for free.
+ScheduleTrace strip_trailing_zeros(const ScheduleTrace& t) {
+  std::vector<Decision> ds = t.decisions();
+  while (!ds.empty() && ds.back().chosen == 0) ds.pop_back();
+  return ScheduleTrace(std::move(ds));
+}
+
+}  // namespace
+
+ScheduleTrace shrink_trace(const ScheduleTrace& original, const ShrinkRunFn& run,
+                           std::size_t max_runs, ShrinkStats* stats) {
+  ScheduleTrace current = strip_trailing_zeros(original);
+  std::size_t runs = 0;
+  auto attempt = [&](const ScheduleTrace& candidate) -> bool {
+    if (runs >= max_runs) return false;
+    ++runs;
+    ShrinkOutcome out = run(candidate);
+    if (!out.violated) return false;
+    current = strip_trailing_zeros(out.executed);
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && runs < max_runs) {
+    improved = false;
+
+    // Phase 1 — truncation: keep halving the forced prefix while the
+    // violation still reproduces.
+    while (current.size() > 1 && runs < max_runs) {
+      const std::size_t keep = current.size() / 2;
+      ScheduleTrace candidate(
+          std::vector<Decision>(current.decisions().begin(), current.decisions().begin() + keep));
+      const std::size_t before = current.size();
+      if (!attempt(candidate) || current.size() >= before) break;
+      improved = true;
+    }
+
+    // Phase 2 — chunk zero-out: replace aligned chunks of decisions with
+    // index 0, halving the chunk size down to 1.
+    for (std::size_t chunk = std::max<std::size_t>(current.size() / 2, 1); chunk >= 1; chunk /= 2) {
+      for (std::size_t at = 0; at < current.size() && runs < max_runs; at += chunk) {
+        std::vector<Decision> ds = current.decisions();
+        bool changed = false;
+        for (std::size_t i = at; i < std::min(at + chunk, ds.size()); ++i) {
+          if (ds[i].chosen != 0) {
+            ds[i].chosen = 0;
+            changed = true;
+          }
+        }
+        if (!changed) continue;
+        if (attempt(ScheduleTrace(std::move(ds)))) improved = true;
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->runs = runs;
+    stats->original_size = original.size();
+    stats->final_size = current.size();
+  }
+  return current;
+}
+
+}  // namespace samoa::explore

@@ -1,0 +1,41 @@
+// Greedy delta-debugging shrinker for violating schedule traces.
+//
+// Given a decision trace whose replay violates isolation, shrink it before
+// reporting: (1) truncate — force only a prefix and let the rest of the
+// run follow the natural schedule (index 0); (2) simplify — zero out
+// aligned chunks of decisions, halving the chunk size down to 1. Every
+// candidate is validated by actually re-running it (the `run` callback
+// replays a forced trace and reports whether the violation reproduced,
+// plus the decisions the run really executed); `current` is only ever
+// replaced by an *executed, still-violating* trace, so the final result is
+// directly replayable. Iterates to a fixpoint under a run budget.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "explore/trace.hpp"
+
+namespace samoa::explore {
+
+struct ShrinkOutcome {
+  bool violated = false;
+  ScheduleTrace executed;
+};
+
+/// Replay the forced trace against the workload; report whether the
+/// isolation violation reproduced and what was actually executed.
+using ShrinkRunFn = std::function<ShrinkOutcome(const ScheduleTrace& forced)>;
+
+struct ShrinkStats {
+  std::size_t runs = 0;
+  std::size_t original_size = 0;
+  std::size_t final_size = 0;
+};
+
+/// `original` must be the executed trace of a violating run. Returns the
+/// smallest still-violating trace found within `max_runs` replays.
+ScheduleTrace shrink_trace(const ScheduleTrace& original, const ShrinkRunFn& run,
+                           std::size_t max_runs = 200, ShrinkStats* stats = nullptr);
+
+}  // namespace samoa::explore

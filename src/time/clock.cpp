@@ -45,6 +45,11 @@ void VirtualClock::pin() {
   ++pins_;
 }
 
+void VirtualClock::set_wake_policy(WakePolicy* policy) {
+  std::lock_guard g(mu_);
+  wake_policy_ = policy;
+}
+
 void VirtualClock::unpin() {
   std::vector<PendingWake> wakes;
   {
@@ -155,10 +160,26 @@ std::vector<VirtualClock::PendingWake> VirtualClock::step_locked() {
 
   // Grant the earliest pending dispatch (already-due event). The grantee
   // waits on turn_cv_ under mu_ itself, so notifying here is race-free.
+  // With a WakePolicy installed and >1 request pending, the policy picks
+  // which dispatch goes first instead of the (due, worker) minimum.
   if (!turn_requests_.empty()) {
-    TurnRequest* best = turn_requests_.front();
-    for (TurnRequest* r : turn_requests_) {
-      if (std::tie(r->due, r->worker) < std::tie(best->due, best->worker)) best = r;
+    TurnRequest* best;
+    if (wake_policy_ != nullptr && turn_requests_.size() > 1) {
+      std::vector<TurnRequest*> sorted(turn_requests_);
+      std::sort(sorted.begin(), sorted.end(), [](const TurnRequest* a, const TurnRequest* b) {
+        return std::tie(a->due, a->worker) < std::tie(b->due, b->worker);
+      });
+      std::vector<RunnableStep> steps;
+      steps.reserve(sorted.size());
+      for (const TurnRequest* r : sorted) {
+        steps.push_back({RunnableStep::Kind::kDispatch, r->worker, r->due});
+      }
+      best = sorted[std::min(wake_policy_->choose(steps), sorted.size() - 1)];
+    } else {
+      best = turn_requests_.front();
+      for (TurnRequest* r : turn_requests_) {
+        if (std::tie(r->due, r->worker) < std::tie(best->due, best->worker)) best = r;
+      }
     }
     best->granted = true;
     turn_active_ = true;
@@ -168,13 +189,36 @@ std::vector<VirtualClock::PendingWake> VirtualClock::step_locked() {
 
   // Everyone idle: jump time to the earliest armed deadline and wake that
   // waiter (exactly one — ties resolve by worker id, and the runner-up is
-  // woken by a later step once this event ran to completion).
+  // woken by a later step once this event ran to completion). A WakePolicy
+  // may instead pick any armed deadline; time jumps to the chosen one
+  // (monotonically — never backwards past a bypassed earlier deadline,
+  // which simply fires at a later step as an already-due wake).
   Waiter* best = nullptr;
-  for (Waiter* w : parked_) {
-    if (!w->has_deadline) continue;
-    if (best == nullptr ||
-        std::tie(w->deadline, w->worker) < std::tie(best->deadline, best->worker)) {
-      best = w;
+  if (wake_policy_ != nullptr) {
+    std::vector<Waiter*> armed;
+    for (Waiter* w : parked_) {
+      if (w->has_deadline) armed.push_back(w);
+    }
+    if (armed.size() > 1) {
+      std::sort(armed.begin(), armed.end(), [](const Waiter* a, const Waiter* b) {
+        return std::tie(a->deadline, a->worker) < std::tie(b->deadline, b->worker);
+      });
+      std::vector<RunnableStep> steps;
+      steps.reserve(armed.size());
+      for (const Waiter* w : armed) {
+        steps.push_back({RunnableStep::Kind::kTimer, w->worker, w->deadline});
+      }
+      best = armed[std::min(wake_policy_->choose(steps), armed.size() - 1)];
+    } else if (armed.size() == 1) {
+      best = armed.front();
+    }
+  } else {
+    for (Waiter* w : parked_) {
+      if (!w->has_deadline) continue;
+      if (best == nullptr ||
+          std::tie(w->deadline, w->worker) < std::tie(best->deadline, best->worker)) {
+        best = w;
+      }
     }
   }
   if (best == nullptr) return wakes;  // fully idle: nothing armed, time stands still

@@ -99,6 +99,39 @@ class ClockSource {
   virtual void interrupt() {}
 };
 
+/// One step the VirtualClock scheduler could take at a quiescent point:
+/// either grant a pending dispatch turn or advance time to an armed
+/// deadline and wake its owner. Presented to a WakePolicy whenever more
+/// than one candidate of the same tier is runnable.
+struct RunnableStep {
+  enum class Kind : std::uint8_t {
+    kDispatch,  // a begin_dispatch turn request (already-due event)
+    kTimer,     // a parked wait_until whose deadline time would jump to
+  };
+  Kind kind = Kind::kTimer;
+  int worker = 0;
+  Clock::time_point due{};
+};
+
+/// Pluggable choice of which runnable step goes next. The default (no
+/// policy installed) is the deterministic minimum by (due, worker); a
+/// policy may pick ANY candidate — schedule exploration uses this to
+/// perturb event order while staying replayable.
+///
+/// Contract: `choose` is called with the clock's scheduler mutex held and
+/// must not block, re-enter the clock, or have side effects beyond its own
+/// bookkeeping. `steps` is sorted by (due, worker) and has >= 2 entries
+/// (singleton choices are not decision points); the return value indexes
+/// into it and is clamped by the caller. Timer candidates may be chosen
+/// out of deadline order: the clock then jumps straight to the chosen
+/// deadline, and any bypassed earlier deadline becomes due immediately at
+/// the next quiescent point (time never runs backwards).
+class WakePolicy {
+ public:
+  virtual ~WakePolicy() = default;
+  virtual std::size_t choose(const std::vector<RunnableStep>& steps) = 0;
+};
+
 /// Process-global wall clock (the default everywhere).
 ClockSource& wall_clock();
 
@@ -141,6 +174,12 @@ class VirtualClock final : public ClockSource {
   void pin() override;
   void unpin() override;
   void interrupt() override;
+
+  /// Install (or remove, with nullptr) the step-choice policy. Safe to
+  /// call at any quiescent moment; the policy must outlive its
+  /// installation. Decisions the policy never sees (single candidate)
+  /// stay deterministic by construction.
+  void set_wake_policy(WakePolicy* policy);
 
  private:
   struct Waiter {
@@ -198,6 +237,7 @@ class VirtualClock final : public ClockSource {
   int pending_wakes_ = 0;
   int notifies_in_flight_ = 0;
   bool turn_active_ = false;
+  WakePolicy* wake_policy_ = nullptr;
   std::vector<Waiter*> parked_;
   std::vector<TurnRequest*> turn_requests_;
 };

@@ -1,0 +1,246 @@
+// Adversarial tests for the isolation oracle: hand-built traces chosen to
+// probe the checker's blind spots (interleaving shapes, long precedence
+// cycles, rollback exclusion, incompleteness modes), plus a fuzz loop that
+// *constructs* traces containing a conflicting overlap and asserts the
+// oracle never calls them isolated. The schedule explorer trusts this
+// oracle unconditionally — a false "isolated" here silently disarms the
+// whole exploration harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "verify/checker.hpp"
+
+namespace samoa {
+namespace {
+
+struct TraceBuilder {
+  std::vector<TraceEvent> events;
+  std::uint64_t seq = 0;
+
+  TraceBuilder& spawn(ComputationId k) {
+    events.push_back({seq++, TracePhase::kSpawn, k, {}, {}});
+    return *this;
+  }
+  TraceBuilder& done(ComputationId k) {
+    events.push_back({seq++, TracePhase::kDone, k, {}, {}});
+    return *this;
+  }
+  TraceBuilder& abort(ComputationId k) {
+    events.push_back({seq++, TracePhase::kAbort, k, {}, {}});
+    return *this;
+  }
+  TraceBuilder& start(ComputationId k, MicroprotocolId mp, HandlerId h, bool ro = false) {
+    events.push_back({seq++, TracePhase::kStart, k, mp, h, ro});
+    return *this;
+  }
+  TraceBuilder& end(ComputationId k, MicroprotocolId mp, HandlerId h, bool ro = false) {
+    events.push_back({seq++, TracePhase::kEnd, k, mp, h, ro});
+    return *this;
+  }
+  TraceBuilder& exec(ComputationId k, MicroprotocolId mp, HandlerId h, bool ro = false) {
+    return start(k, mp, h, ro).end(k, mp, h, ro);
+  }
+};
+
+ComputationId comp(std::uint32_t n) { return ComputationId{n}; }
+MicroprotocolId mp(std::uint32_t n) { return MicroprotocolId{n}; }
+HandlerId h(std::uint32_t n) { return HandlerId{n}; }
+
+// --- A-B-A interleavings -------------------------------------------------
+
+TEST(CheckerAdversarial, AbaInterleavingViolatesEvenWithoutOverlap) {
+  // No intervals overlap; the violation is purely block contiguity.
+  TraceBuilder t;
+  t.spawn(comp(1)).spawn(comp(2));
+  t.exec(comp(1), mp(1), h(1));
+  t.exec(comp(2), mp(1), h(1));
+  t.exec(comp(1), mp(1), h(1));
+  t.done(comp(1)).done(comp(2));
+  auto report = check_isolation(t.events);
+  EXPECT_FALSE(report.isolated) << report.summary();
+}
+
+TEST(CheckerAdversarial, AbaAcrossDistinctHandlersOfOneMpViolates) {
+  // The unit of conflict is the microprotocol, not the handler: A-B-A with
+  // three different handlers of the same mp is still unserialisable.
+  TraceBuilder t;
+  t.spawn(comp(1)).spawn(comp(2));
+  t.exec(comp(1), mp(1), h(1));
+  t.exec(comp(2), mp(1), h(2));
+  t.exec(comp(1), mp(1), h(3));
+  t.done(comp(1)).done(comp(2));
+  EXPECT_FALSE(check_isolation(t.events).isolated);
+}
+
+TEST(CheckerAdversarial, AbaWhereMiddleBlockWasRolledBackIsIsolated) {
+  // The middle access belongs to a computation that aborted *after* it:
+  // rolled back, never visible, so the trace serialises.
+  TraceBuilder t;
+  t.spawn(comp(1)).spawn(comp(2));
+  t.exec(comp(1), mp(1), h(1));
+  t.exec(comp(2), mp(1), h(1));
+  t.abort(comp(2));  // rolls back the access above
+  t.exec(comp(1), mp(1), h(1));
+  t.exec(comp(2), mp(1), h(1));  // the retry, after comp(1)'s block
+  t.done(comp(1)).done(comp(2));
+  auto report = check_isolation(t.events);
+  EXPECT_TRUE(report.isolated) << report.summary();
+}
+
+TEST(CheckerAdversarial, AbaAfterAbortStillViolates) {
+  // The same A-B-A shape but *after* the abort: rollback must not excuse
+  // post-restart accesses.
+  TraceBuilder t;
+  t.spawn(comp(1)).spawn(comp(2));
+  t.abort(comp(2));
+  t.exec(comp(1), mp(1), h(1));
+  t.exec(comp(2), mp(1), h(1));
+  t.exec(comp(1), mp(1), h(1));
+  t.done(comp(1)).done(comp(2));
+  EXPECT_FALSE(check_isolation(t.events).isolated);
+}
+
+TEST(CheckerAdversarial, ReadOnlyAbaCommutesAndIsIsolated) {
+  // A-B-A where every access is declared read-only: all pairs commute, no
+  // conflict edges, serialisable.
+  TraceBuilder t;
+  t.spawn(comp(1)).spawn(comp(2));
+  t.exec(comp(1), mp(1), h(1), /*ro=*/true);
+  t.exec(comp(2), mp(1), h(1), /*ro=*/true);
+  t.exec(comp(1), mp(1), h(1), /*ro=*/true);
+  t.done(comp(1)).done(comp(2));
+  auto report = check_isolation(t.events);
+  EXPECT_TRUE(report.isolated) << report.summary();
+}
+
+// --- long precedence cycles ---------------------------------------------
+
+/// Ring of `n` computations: comp i precedes comp i+1 on microprotocol i,
+/// and comp n-1 precedes comp 0 on microprotocol n-1 — a length-n cycle
+/// with no overlapping intervals anywhere.
+std::vector<TraceEvent> precedence_ring(std::uint32_t n) {
+  TraceBuilder t;
+  for (std::uint32_t i = 0; i < n; ++i) t.spawn(comp(i + 1));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    t.exec(comp(i + 1), mp(i + 1), h(i + 1));
+    t.exec(comp((i + 1) % n + 1), mp(i + 1), h(i + 1));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) t.done(comp(i + 1));
+  return t.events;
+}
+
+TEST(CheckerAdversarial, PrecedenceCyclesOfLength3To6Detected) {
+  for (std::uint32_t n = 3; n <= 6; ++n) {
+    auto report = check_isolation(precedence_ring(n));
+    EXPECT_FALSE(report.isolated) << "cycle length " << n << " not detected";
+    EXPECT_TRUE(report.equivalent_serial_order.empty());
+  }
+}
+
+TEST(CheckerAdversarial, BrokenRingSerialises) {
+  // Same ring shape minus the closing edge: must serialise (guards against
+  // the cycle check over-firing on long chains).
+  TraceBuilder t;
+  const std::uint32_t n = 5;
+  for (std::uint32_t i = 0; i < n; ++i) t.spawn(comp(i + 1));
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    t.exec(comp(i + 1), mp(i + 1), h(i + 1));
+    t.exec(comp(i + 2), mp(i + 1), h(i + 1));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) t.done(comp(i + 1));
+  auto report = check_isolation(t.events);
+  ASSERT_TRUE(report.isolated) << report.summary();
+  ASSERT_EQ(report.equivalent_serial_order.size(), n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(report.equivalent_serial_order[i], comp(i + 1));
+  }
+}
+
+// --- allow_incomplete, both ways ----------------------------------------
+
+TEST(CheckerAdversarial, IncompleteAccessStrictVsLax) {
+  TraceBuilder t;
+  t.spawn(comp(1)).spawn(comp(2));
+  t.exec(comp(1), mp(1), h(1));
+  t.exec(comp(2), mp(2), h(2));
+  t.start(comp(2), mp(3), h(3));  // still running when the trace was cut
+  EXPECT_FALSE(check_isolation(t.events, /*allow_incomplete=*/false).isolated);
+  EXPECT_TRUE(check_isolation(t.events, /*allow_incomplete=*/true).isolated);
+}
+
+TEST(CheckerAdversarial, LaxModeStillCatchesCompleteViolations) {
+  // allow_incomplete forgives pending accesses, nothing else: a completed
+  // overlap in the same trace must still be flagged.
+  TraceBuilder t;
+  t.spawn(comp(1)).spawn(comp(2)).spawn(comp(3));
+  t.start(comp(1), mp(1), h(1)).start(comp(2), mp(1), h(1));
+  t.end(comp(1), mp(1), h(1)).end(comp(2), mp(1), h(1));
+  t.start(comp(3), mp(2), h(2));  // pending, unrelated
+  EXPECT_FALSE(check_isolation(t.events, /*allow_incomplete=*/true).isolated);
+}
+
+// --- fuzz: the oracle must never bless an overlap -----------------------
+
+/// Generate a random serial background (each computation's accesses
+/// contiguous per mp, no overlaps), then splice in one guaranteed
+/// read-write overlap between two fresh computations on a fresh
+/// microprotocol. Whatever else the trace contains, "isolated" would be a
+/// false negative.
+std::vector<TraceEvent> trace_with_planted_overlap(Rng& rng) {
+  TraceBuilder t;
+  const std::uint32_t background = 2 + static_cast<std::uint32_t>(rng.next_below(4));
+  const std::uint32_t shared_mps = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+  // Background computations run strictly one after another.
+  for (std::uint32_t k = 0; k < background; ++k) {
+    t.spawn(comp(100 + k));
+    const std::uint32_t accesses = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+    for (std::uint32_t a = 0; a < accesses; ++a) {
+      const auto m = static_cast<std::uint32_t>(rng.next_below(shared_mps));
+      t.exec(comp(100 + k), mp(50 + m), h(50 + m), rng.chance(0.3));
+    }
+    t.done(comp(100 + k));
+  }
+  // The planted pair: overlapping write accesses on their own mp, spliced
+  // at a random position by reassigning sequence numbers afterwards.
+  TraceBuilder planted;
+  planted.seq = t.seq;
+  planted.spawn(comp(1)).spawn(comp(2));
+  planted.start(comp(1), mp(9), h(9));
+  planted.start(comp(2), mp(9), h(9));
+  if (rng.chance(0.5)) {
+    planted.end(comp(1), mp(9), h(9)).end(comp(2), mp(9), h(9));
+  } else {
+    planted.end(comp(2), mp(9), h(9)).end(comp(1), mp(9), h(9));
+  }
+  planted.done(comp(1)).done(comp(2));
+
+  // Interleave the planted pair into the background at a random offset,
+  // keeping relative order within each list (stable seq renumbering).
+  std::vector<TraceEvent> all = t.events;
+  const std::size_t at = rng.next_below(all.size() + 1);
+  all.insert(all.begin() + static_cast<std::ptrdiff_t>(at), planted.events.begin(),
+             planted.events.end());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i].seq = i;
+  return all;
+}
+
+TEST(CheckerAdversarial, FuzzedOverlapTracesAreNeverIsolated) {
+  const std::uint64_t seed = testing::test_seed(20260807);
+  Rng rng(seed);
+  for (int round = 0; round < 300; ++round) {
+    const auto events = trace_with_planted_overlap(rng);
+    auto report = check_isolation(events, /*allow_incomplete=*/true);
+    ASSERT_FALSE(report.isolated)
+        << "oracle blessed a trace with a planted overlap (seed=" << seed << " round=" << round
+        << ")\n"
+        << TraceRecorder::format(events);
+  }
+}
+
+}  // namespace
+}  // namespace samoa

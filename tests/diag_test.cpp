@@ -13,6 +13,7 @@
 #include "cc/version_gate.hpp"
 #include "diag/wait_registry.hpp"
 #include "diag/watchdog.hpp"
+#include "time/clock.hpp"
 #include "util/sync.hpp"
 
 namespace samoa {
@@ -205,6 +206,102 @@ TEST(DeadlockWatchdog, KickResetsTheWindow) {
     dog.kick();
   }
   EXPECT_EQ(stalls_seen.load(), 0);
+}
+
+// A worker that drip-feeds a VirtualClock: each iteration parks on a short
+// virtual deadline (the scheduler jumps time forward and wakes it), then
+// spends real wall time before the next one — so simulated time keeps
+// moving across the watchdog's polls, the way a long live experiment does.
+class VirtualTimeDriver {
+ public:
+  explicit VirtualTimeDriver(time::VirtualClock& clock) : clock_(clock) {
+    thread_ = std::thread([this] {
+      time::WorkerHandle worker(clock_);
+      std::mutex mu;
+      std::condition_variable cv;
+      while (!stop_.load(std::memory_order_relaxed)) {
+        const auto deadline = clock_.now() + 1ms;
+        {
+          std::unique_lock lock(mu);
+          while (clock_.now() < deadline && !stop_.load(std::memory_order_relaxed)) {
+            clock_.wait_until(worker.id(), lock, cv, deadline,
+                              [this] { return stop_.load(std::memory_order_relaxed); });
+          }
+        }
+        std::this_thread::sleep_for(5ms);
+      }
+    });
+  }
+
+  ~VirtualTimeDriver() {
+    stop_.store(true, std::memory_order_relaxed);
+    clock_.interrupt();  // in case the worker is parked when we stop
+    thread_.join();
+  }
+
+ private:
+  time::VirtualClock& clock_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+TEST(DeadlockWatchdog, ClockAwareStuckBudgetIgnoresLongVirtualWaits) {
+  // A wait parked for far longer than the stuck budget while the virtual
+  // clock keeps advancing is a live simulation, not a wedge. The
+  // clock-aware watchdog must stay quiet; an identically-configured
+  // wall-budget watchdog (the control) must trip, proving the window the
+  // clock awareness closes.
+  time::VirtualClock clock;
+  VirtualTimeDriver driver(clock);
+
+  diag::WatchdogOptions aware_opts;
+  aware_opts.budget = 30s;  // only the stuck-wait detector is under test
+  aware_opts.poll = 10ms;
+  aware_opts.stuck_wait_budget = 150ms;
+  aware_opts.clock = &clock;
+  aware_opts.name = "vclock-aware";
+  aware_opts.dump_to_stderr = false;
+  diag::DeadlockWatchdog aware(aware_opts);
+
+  diag::WatchdogOptions naive_opts = aware_opts;
+  naive_opts.clock = nullptr;
+  naive_opts.name = "vclock-naive";
+  diag::DeadlockWatchdog naive(naive_opts);
+
+  {
+    diag::ScopedWait wait(diag::WaitKind::kExternal, nullptr, "virtual-sleep", 0, 0, 0);
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (naive.stalls() == 0 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+  EXPECT_GE(naive.stalls(), 1u) << "control never tripped; the fixture is not parking long enough";
+  EXPECT_EQ(aware.stalls(), 0u) << "clock-aware watchdog false-tripped on a live simulation";
+}
+
+TEST(DeadlockWatchdog, ClockAwareStuckBudgetStillTripsWhenSimulationFreezes) {
+  // Clock awareness must not disable the detector: a virtual clock that
+  // never advances (a wedged scheduler) plus a long-parked wait is exactly
+  // the stall the stuck budget exists for.
+  time::VirtualClock clock;  // no workers, no deadlines: now() is frozen
+  diag::WatchdogOptions opts;
+  opts.budget = 30s;
+  opts.poll = 10ms;
+  opts.stuck_wait_budget = 100ms;
+  opts.clock = &clock;
+  opts.name = "vclock-frozen";
+  opts.dump_to_stderr = false;
+  std::atomic<int> stalls_seen{0};
+  opts.on_stall = [&](const diag::Dump&) { stalls_seen.fetch_add(1); };
+  diag::DeadlockWatchdog dog(opts);
+
+  diag::ScopedWait wait(diag::WaitKind::kExternal, nullptr, "wedged", 0, 0, 0);
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (stalls_seen.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GE(stalls_seen.load(), 1) << "frozen virtual clock + parked wait never tripped";
+  EXPECT_GE(dog.stalls(), 1u);
 }
 
 }  // namespace

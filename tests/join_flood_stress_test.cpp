@@ -25,6 +25,7 @@
 #include "diag/watchdog.hpp"
 #include "gc/group_node.hpp"
 #include "net/sim_network.hpp"
+#include "test_support.hpp"
 
 #if defined(__SANITIZE_THREAD__)
 #define SAMOA_UNDER_TSAN 1
@@ -145,11 +146,12 @@ class JoinFloodStress : public ::testing::Test {
 
 TEST_F(JoinFloodStress, SerialPolicySeedSweep) {
   const int seeds = stress_seeds();
+  const std::uint64_t base = samoa::testing::test_seed(1000);
   for (int s = 0; s < seeds; ++s) {
     const auto window = (s % 2 == 0) ? 0us : 500us;
-    SCOPED_TRACE("serial seed=" + std::to_string(1000 + s) +
+    SCOPED_TRACE("serial seed=" + std::to_string(base + s) +
                  " window=" + std::to_string(window.count()) + "us");
-    const CellResult r = run_cell(CCPolicy::kSerial, window, 1000 + s);
+    const CellResult r = run_cell(CCPolicy::kSerial, window, base + s);
     ASSERT_TRUE(r.join_completed) << "join never completed (stalled short of a full wedge)";
     dog_->kick();  // cell boundary: restart the no-progress window
   }
@@ -157,12 +159,13 @@ TEST_F(JoinFloodStress, SerialPolicySeedSweep) {
 
 TEST_F(JoinFloodStress, VCABasicPolicySeedSweep) {
   const int seeds = stress_seeds();
+  const std::uint64_t base = samoa::testing::test_seed(2000);
   std::uint64_t coalesced = 0;
   for (int s = 0; s < seeds; ++s) {
     const auto window = (s % 2 == 0) ? 0us : 500us;
-    SCOPED_TRACE("vca-basic seed=" + std::to_string(2000 + s) +
+    SCOPED_TRACE("vca-basic seed=" + std::to_string(base + s) +
                  " window=" + std::to_string(window.count()) + "us");
-    const CellResult r = run_cell(CCPolicy::kVCABasic, window, 2000 + s);
+    const CellResult r = run_cell(CCPolicy::kVCABasic, window, base + s);
     ASSERT_TRUE(r.join_completed) << "join never completed (stalled short of a full wedge)";
     coalesced += r.ticks_coalesced;
     dog_->kick();

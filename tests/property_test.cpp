@@ -116,7 +116,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(CCPolicy::kSerial, CCPolicy::kVCABasic,
                                          CCPolicy::kVCABound, CCPolicy::kVCARoute,
                                          CCPolicy::kVCARW),
-                       ::testing::Values(1u, 7u, 42u, 1234u, 99999u)),
+                       // The last slot honours SAMOA_TEST_SEED (seed appears
+                       // in the generated test name, so failures name it).
+                       ::testing::Values(1u, 7u, 42u, 1234u, testing::test_seed(99999))),
     [](const ::testing::TestParamInfo<std::tuple<CCPolicy, std::uint64_t>>& info) {
       return std::string(to_string(std::get<0>(info.param))) + "_seed" +
              std::to_string(std::get<1>(info.param));
@@ -211,7 +213,7 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, PipelineProperty,
     ::testing::Combine(::testing::Values(CCPolicy::kSerial, CCPolicy::kVCABasic,
                                          CCPolicy::kVCABound, CCPolicy::kVCARoute),
-                       ::testing::Values(3u, 17u, 2718u)),
+                       ::testing::Values(3u, 17u, testing::test_seed(2718))),
     [](const ::testing::TestParamInfo<std::tuple<CCPolicy, std::uint64_t>>& info) {
       return std::string(to_string(std::get<0>(info.param))) + "_seed" +
              std::to_string(std::get<1>(info.param));
@@ -238,7 +240,8 @@ TEST(GateWakeupProperty, PublishAlwaysWakesAllMatchingWaiters) {
   wopts.abort_on_stall = true;
   diag::DeadlockWatchdog dog(wopts);
 
-  for (std::uint64_t seed : {5u, 23u, 101u, 424u, 1009u, 31337u}) {
+  for (std::uint64_t seed : {std::uint64_t{5}, std::uint64_t{23}, std::uint64_t{101},
+                             std::uint64_t{424}, std::uint64_t{1009}, testing::test_seed(31337)}) {
     Rng rng(seed);
     GateTable gates;
     VersionGate& gate = gates.gate(MicroprotocolId{1});

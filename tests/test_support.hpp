@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,20 @@
 #include "verify/checker.hpp"
 
 namespace samoa::testing {
+
+/// One seed knob for every randomized test (property sweeps, stress
+/// fuzzing, schedule exploration): SAMOA_TEST_SEED overrides the default
+/// when set, so a CI failure under a swept seed reruns locally with
+/// `SAMOA_TEST_SEED=<n> ctest ...`. Tests must put the effective seed in
+/// their failure output (SCOPED_TRACE / assertion message / test name).
+inline std::uint64_t test_seed(std::uint64_t def) {
+  if (const char* env = std::getenv("SAMOA_TEST_SEED"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return def;
+}
 
 /// Microprotocol with a single handler that optionally busy-waits and
 /// counts its executions. `in_flight`/`max_in_flight` detect concurrent

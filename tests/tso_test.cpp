@@ -121,6 +121,55 @@ TEST(TSO, OlderWaitsForYoungerHolder) {
   EXPECT_EQ(c.value.get(), 11);
 }
 
+TEST(TSO, HandoffWakesExactlyOncePerParkUnderHighFanIn) {
+  // Regression for the shared-broadcast-cv claim wait: every release used
+  // to notify_all every waiter of every claim, so a bench_tso-shaped
+  // high-fan-in pile-up (N computations contending one microprotocol) cost
+  // O(N) wakeups per release, O(N^2) per drain. The targeted handoff wakes
+  // exactly the youngest parked waiter: one wakeup per park, period.
+  //
+  // Deterministic pile-up: 8 old computations (admitted first, so their
+  // timestamps are smallest) block in their roots on `go` while the
+  // youngest claims the blocking mp and parks inside its handler. Released,
+  // the 8 arrive at a claim held by a younger computation -> all 8 park
+  // (wait-die says wait, old -> young). Then the holder finishes and the
+  // claim hands down the age ladder: 8 parks, 8 handoffs, nothing else.
+  Stack stack;
+  auto& contended = stack.emplace<BlockingMp>("contended");
+  EventType ev("Hit");
+  stack.bind(ev, *contended.handler);
+  Runtime rt(stack, tso_opts(/*trace=*/true));
+
+  constexpr int kOldComps = 8;
+  OneShotEvent go;
+  std::vector<ComputationHandle> handles;
+  for (int i = 0; i < kOldComps; ++i) {
+    handles.push_back(rt.spawn_isolated(Isolation::basic({&contended}), [&](Context& ctx) {
+      go.wait();
+      ctx.trigger(ev);
+    }));
+  }
+  auto youngest = rt.spawn_isolated(Isolation::basic({&contended}),
+                                    [&](Context& ctx) { ctx.trigger(ev); });
+  contended.started.wait();  // youngest holds the claim, parked in-handler
+  go.set();                  // the 8 older computations now pile onto it
+  // Give them time to actually park before the release (the counts below
+  // are upper-bounded either way; this makes the equality meaningful).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  contended.release.set();
+  for (auto& h : handles) h.wait();
+  youngest.wait();
+  rt.drain();
+
+  auto& tso = static_cast<TSOController&>(rt.controller());
+  EXPECT_LE(tso.claim_wakeups(), tso.claim_parks())
+      << "more wakeups than parks: releases are broadcasting again";
+  EXPECT_GT(tso.claim_parks(), 0u) << "no contention happened; the cell is broken";
+  EXPECT_EQ(contended.calls.load(), kOldComps + 1);
+  auto report = check_isolation(rt.trace()->snapshot());
+  EXPECT_TRUE(report.isolated) << report.summary();
+}
+
 TEST(TSO, YoungerDiesAndRestartsWithRollback) {
   // k1 (older) claims `a` and parks; k2 (younger) first writes `b`, then
   // tries `a` -> wait-die kills k2; its write to `b` must be rolled back
