@@ -63,7 +63,10 @@ CCPolicy policy_from(int index) {
   return kAll[index];
 }
 
-/// Cost of spawning and completing an empty isolated computation.
+/// Cost of spawning and completing an empty isolated computation. The
+/// admit_fast / admit_slow counters make the fast-path claim auditable in
+/// the output: |M| = 1 cells must report admit_slow == 0 (no admission
+/// ever took a lock), larger |M| cells go through the lock-ordered path.
 void BM_SpawnEmpty(benchmark::State& state) {
   const CCPolicy policy = policy_from(static_cast<int>(state.range(0)));
   const int n_mps = static_cast<int>(state.range(1));
@@ -72,11 +75,71 @@ void BM_SpawnEmpty(benchmark::State& state) {
   for (auto _ : state) {
     rt.spawn_isolated(env.iso(policy), [](Context&) {}).wait();
   }
+  const CCStats& cc = rt.controller().stats();
+  state.counters["admit_fast"] = static_cast<double>(cc.admit_fast.value());
+  state.counters["admit_slow"] = static_cast<double>(cc.admit_slow.value());
   state.SetLabel(to_string(policy));
 }
 BENCHMARK(BM_SpawnEmpty)
     ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 4, 16, 64}})
     ->Unit(benchmark::kMicrosecond);
+
+/// Batched admission: one spawn_isolated_batch call admitting `batch`
+/// single-mp computations (one claim_range fetch_add per distinct gate,
+/// one pool lock for the whole burst). Throughput is per member, directly
+/// comparable to the |M| = 1 BM_SpawnEmpty cells.
+void BM_SpawnBatchSingleMp(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Env env(4);
+  Runtime rt(env.stack, RuntimeOptions{.policy = CCPolicy::kVCABasic});
+  for (auto _ : state) {
+    std::vector<Runtime::SpawnRequest> reqs;
+    reqs.reserve(batch);
+    for (int b = 0; b < batch; ++b) {
+      reqs.push_back({Isolation::basic({env.mps[b % env.mps.size()]}), [](Context&) {}});
+    }
+    auto hs = rt.spawn_isolated_batch(std::move(reqs));
+    for (auto& h : hs) h.wait();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  const CCStats& cc = rt.controller().stats();
+  state.counters["admit_fast"] = static_cast<double>(cc.admit_fast.value());
+  state.counters["admit_slow"] = static_cast<double>(cc.admit_slow.value());
+  state.SetLabel("VCAbasic batch");
+}
+BENCHMARK(BM_SpawnBatchSingleMp)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+/// Concurrent admissions from T benchmark threads, each spawning on its
+/// own microprotocol (no conflicts). With the sharded lock-free admission
+/// this scales with threads; with a controller-global admission mutex it
+/// flatlines — the regression this cell exists to catch.
+void BM_ThreadedSingleMpAdmit(benchmark::State& state) {
+  static Env* env = nullptr;
+  static Runtime* rt = nullptr;
+  if (state.thread_index() == 0) {
+    env = new Env(64);
+    env->stack.seal();
+    rt = new Runtime(env->stack, RuntimeOptions{.policy = CCPolicy::kVCABasic});
+  }
+  // All threads rendezvous at the timed-loop barrier, so env/rt written by
+  // thread 0 above are visible to every thread inside the loop.
+  for (auto _ : state) {
+    NopMp* mp = env->mps[state.thread_index() % env->mps.size()];
+    rt->spawn_isolated(Isolation::basic({mp}), [](Context&) {}).wait();
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const CCStats& cc = rt->controller().stats();
+    state.counters["admit_fast"] = static_cast<double>(cc.admit_fast.value());
+    state.counters["admit_slow"] = static_cast<double>(cc.admit_slow.value());
+    delete rt;
+    rt = nullptr;
+    delete env;
+    env = nullptr;
+  }
+  state.SetLabel("VCAbasic threaded");
+}
+BENCHMARK(BM_ThreadedSingleMpAdmit)->ThreadRange(1, 8)->Unit(benchmark::kMicrosecond)->UseRealTime();
 
 /// Cost of 16 gated handler calls inside one computation.
 void BM_GatedCalls(benchmark::State& state) {

@@ -4,7 +4,6 @@
 #include <unordered_map>
 
 #include "core/errors.hpp"
-#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -49,19 +48,76 @@ class VCABasicComputationCC : public ComputationCC {
 
 std::unique_ptr<ComputationCC> VCABasicController::admit(ComputationId k, const Isolation& spec) {
   stats_.admissions.add();
-  // Steps 1 and 2 are required to be atomic; the admission mutex makes the
-  // multi-microprotocol gv upgrade a single indivisible step.
   std::unordered_map<MicroprotocolId, std::uint64_t> pv;
-  {
-    std::unique_lock lock(admission_mu_);
-    for (MicroprotocolId mp : spec.members()) {
-      auto& gate = gates_.gate(mp);
-      const auto pv_k = gate.admit(1);
-      diag::WaitRegistry::instance().note_admission(&gate, nullptr, pv_k, k.value());
-      pv.emplace(mp, pv_k);
+  const auto& members = spec.members();
+  if (members.size() == 1) {
+    // Fast path: one microprotocol means one counter, so the admission is
+    // atomic by construction — a single lock-free fetch_add.
+    stats_.admit_fast.add();
+    const MicroprotocolId mp = members.front();
+    pv.emplace(mp, gates_.gate(mp).admit(1, k.value()));
+  } else {
+    // Slow path: Step 1 must bump every member gate as one indivisible
+    // step. Holding all member admission locks in mp-id order serializes
+    // any two admissions that share gates, which keeps the version order
+    // identical on every shared microprotocol (total wait-for order).
+    stats_.admit_slow.add();
+    OrderedAdmission locks(gates_, members);
+    for (MicroprotocolId mp : members) {
+      pv.emplace(mp, gates_.gate(mp).admit(1, k.value()));
     }
   }
   return std::make_unique<VCABasicComputationCC>(*this, k, std::move(pv));
+}
+
+std::vector<std::unique_ptr<ComputationCC>> VCABasicController::admit_batch(
+    const std::vector<AdmitRequest>& reqs) {
+  stats_.admissions.add(reqs.size());
+  stats_.admissions_batched.add(reqs.size());
+  std::vector<std::unique_ptr<ComputationCC>> out;
+  out.reserve(reqs.size());
+
+  bool all_single = true;
+  for (const AdmitRequest& r : reqs) all_single &= (r.spec->members().size() == 1);
+
+  if (all_single) {
+    // One fetch_add per distinct gate claims a consecutive version range;
+    // sub-versions are handed out in batch order, so on every gate the
+    // batch is indistinguishable from admitting its members one by one.
+    stats_.admit_fast.add(reqs.size());
+    std::unordered_map<MicroprotocolId, std::uint64_t> counts;
+    for (const AdmitRequest& r : reqs) ++counts[r.spec->members().front()];
+    std::unordered_map<MicroprotocolId, std::uint64_t> next;
+    for (const auto& [mp, n] : counts) {
+      next.emplace(mp, gates_.gate(mp).claim_range(n) - n + 1);
+    }
+    for (const AdmitRequest& r : reqs) {
+      const MicroprotocolId mp = r.spec->members().front();
+      const std::uint64_t pv_k = next.at(mp)++;
+      gates_.gate(mp).note_holder(pv_k, r.k.value());
+      std::unordered_map<MicroprotocolId, std::uint64_t> pv;
+      pv.emplace(mp, pv_k);
+      out.push_back(std::make_unique<VCABasicComputationCC>(*this, r.k, std::move(pv)));
+    }
+    return out;
+  }
+
+  // Mixed batch: one lock-ordered transaction over the union of all member
+  // gates makes the whole burst a single indivisible admission step.
+  stats_.admit_slow.add(reqs.size());
+  std::vector<MicroprotocolId> union_mps;
+  for (const AdmitRequest& r : reqs) {
+    union_mps.insert(union_mps.end(), r.spec->members().begin(), r.spec->members().end());
+  }
+  OrderedAdmission locks(gates_, union_mps);
+  for (const AdmitRequest& r : reqs) {
+    std::unordered_map<MicroprotocolId, std::uint64_t> pv;
+    for (MicroprotocolId mp : r.spec->members()) {
+      pv.emplace(mp, gates_.gate(mp).admit(1, r.k.value()));
+    }
+    out.push_back(std::make_unique<VCABasicComputationCC>(*this, r.k, std::move(pv)));
+  }
+  return out;
 }
 
 }  // namespace samoa

@@ -10,9 +10,15 @@
 // Deadlock-free: admissions are atomic across all of M, so the version
 // order between any two computations is identical on every shared
 // microprotocol — the wait-for relation is a total order.
+//
+// Admission is sharded (no controller-wide mutex): a single-microprotocol
+// declaration claims its version with one per-gate fetch_add (atomic by
+// construction — there is only one counter involved); a multi-microprotocol
+// declaration takes the member gates' admission mutexes in mp-id order
+// (OrderedAdmission) so any two admissions sharing gates serialize and
+// observe identical version order everywhere. admit_batch() compresses a
+// burst of single-mp admissions into one fetch_add per distinct gate.
 #pragma once
-
-#include <mutex>
 
 #include "cc/controller.hpp"
 #include "cc/version_gate.hpp"
@@ -22,12 +28,13 @@ namespace samoa {
 class VCABasicController : public ConcurrencyController {
  public:
   std::unique_ptr<ComputationCC> admit(ComputationId k, const Isolation& spec) override;
+  std::vector<std::unique_ptr<ComputationCC>> admit_batch(
+      const std::vector<AdmitRequest>& reqs) override;
   const char* name() const override { return "VCAbasic"; }
 
  private:
   friend class VCABasicComputationCC;
 
-  std::mutex admission_mu_;
   GateTable gates_;
 };
 

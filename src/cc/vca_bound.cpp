@@ -4,7 +4,6 @@
 #include <unordered_map>
 
 #include "core/errors.hpp"
-#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -76,17 +75,23 @@ std::unique_ptr<ComputationCC> VCABoundController::admit(ComputationId k, const 
   }
   stats_.admissions.add();
   std::unordered_map<MicroprotocolId, Slot> slots;
-  {
-    std::unique_lock lock(admission_mu_);
-    for (MicroprotocolId mp : spec.members()) {
-      const std::uint64_t bound = spec.bounds().at(mp);
-      Slot s;
-      s.bound = bound;
-      auto& gate = gates_.gate(mp);
-      s.pv = gate.admit(bound);  // Rule 1: gv += bound[p]
-      diag::WaitRegistry::instance().note_admission(&gate, nullptr, s.pv, k.value());
-      slots.emplace(mp, s);
-    }
+  const auto& members = spec.members();
+  auto admit_one = [&](MicroprotocolId mp) {
+    const std::uint64_t bound = spec.bounds().at(mp);
+    Slot s;
+    s.bound = bound;
+    s.pv = gates_.gate(mp).admit(bound, k.value());  // Rule 1: gv += bound[p]
+    slots.emplace(mp, s);
+  };
+  if (members.size() == 1) {
+    // Single microprotocol: the window claim is one lock-free fetch_add.
+    stats_.admit_fast.add();
+    admit_one(members.front());
+  } else {
+    // Lock-ordered multi-mp path; see VCABasicController::admit.
+    stats_.admit_slow.add();
+    OrderedAdmission locks(gates_, members);
+    for (MicroprotocolId mp : members) admit_one(mp);
   }
   return std::make_unique<VCABoundComputationCC>(*this, k, std::move(slots));
 }

@@ -13,8 +13,6 @@
 // number is exhausted").
 #pragma once
 
-#include <mutex>
-
 #include "cc/controller.hpp"
 #include "cc/version_gate.hpp"
 
@@ -28,7 +26,6 @@ class VCABoundController : public ConcurrencyController {
  private:
   friend class VCABoundComputationCC;
 
-  std::mutex admission_mu_;
   GateTable gates_;
 };
 

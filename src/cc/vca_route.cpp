@@ -6,7 +6,6 @@
 
 #include "cc/routing_graph.hpp"
 #include "core/errors.hpp"
-#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -139,13 +138,18 @@ std::unique_ptr<ComputationCC> VCARouteController::admit(ComputationId k, const 
   stats_.admissions.add();
   RoutingGraph graph(spec.route_spec(), spec.route_owners());
   std::unordered_map<MicroprotocolId, std::uint64_t> pv;
-  {
-    std::unique_lock lock(admission_mu_);
-    for (MicroprotocolId mp : spec.members()) {
-      auto& gate = gates_.gate(mp);
-      const auto pv_k = gate.admit(1);
-      diag::WaitRegistry::instance().note_admission(&gate, nullptr, pv_k, k.value());
-      pv.emplace(mp, pv_k);
+  const auto& members = spec.members();
+  if (members.size() == 1) {
+    // Single microprotocol: one lock-free fetch_add claims the version.
+    stats_.admit_fast.add();
+    const MicroprotocolId mp = members.front();
+    pv.emplace(mp, gates_.gate(mp).admit(1, k.value()));
+  } else {
+    // Lock-ordered multi-mp path; see VCABasicController::admit.
+    stats_.admit_slow.add();
+    OrderedAdmission locks(gates_, members);
+    for (MicroprotocolId mp : members) {
+      pv.emplace(mp, gates_.gate(mp).admit(1, k.value()));
     }
   }
   return std::make_unique<VCARouteComputationCC>(*this, k, std::move(graph), std::move(pv));

@@ -18,8 +18,6 @@
 //    version order on which the isolation proof rests.
 #pragma once
 
-#include <mutex>
-
 #include "cc/controller.hpp"
 #include "cc/version_gate.hpp"
 
@@ -33,7 +31,6 @@ class VCARouteController : public ConcurrencyController {
  private:
   friend class VCARouteComputationCC;
 
-  std::mutex admission_mu_;
   GateTable gates_;
 };
 

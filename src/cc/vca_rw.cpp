@@ -3,7 +3,6 @@
 #include <sstream>
 
 #include "core/errors.hpp"
-#include "diag/wait_registry.hpp"
 
 namespace samoa {
 
@@ -52,11 +51,13 @@ class VCARWComputationCC : public ComputationCC {
         continue;
       }
       // Reader: leave the group; the last member out performs the upgrade.
-      // Membership lives on the controller, under the admission mutex.
+      // Membership is guarded by the owning gate's admission mutex — the
+      // same lock admissions use to join, so join and last-out race
+      // coherently without any controller-wide lock.
       bool last_out;
       {
-        std::unique_lock lock(ctrl_.admission_mu_);
-        auto& rw = ctrl_.rw_[mp];
+        std::unique_lock lock(gate.admission_mutex());
+        auto& rw = ctrl_.rw_state(mp);
         auto it = rw.group_members.find(s.pv);
         last_out = --it->second == 0;
         if (last_out) {
@@ -77,6 +78,11 @@ class VCARWComputationCC : public ComputationCC {
   std::unordered_map<MicroprotocolId, Slot> slots_;
 };
 
+VCARWController::RwState& VCARWController::rw_state(MicroprotocolId mp) {
+  std::unique_lock lock(rw_map_mu_);
+  return rw_[mp];
+}
+
 std::unique_ptr<ComputationCC> VCARWController::admit(ComputationId k, const Isolation& spec) {
   if (spec.kind() != Isolation::Kind::ReadWrite) {
     throw ConfigError("VCArw requires Isolation::read_write declarations (got " +
@@ -84,32 +90,42 @@ std::unique_ptr<ComputationCC> VCARWController::admit(ComputationId k, const Iso
   }
   stats_.admissions.add();
   std::unordered_map<MicroprotocolId, VCARWComputationCC::Slot> slots;
-  {
-    std::unique_lock lock(admission_mu_);
-    for (MicroprotocolId mp : spec.members()) {
-      const Access access = spec.accesses().at(mp);
-      auto& gate = gates_.gate(mp);
-      auto& rw = rw_[mp];
-      VCARWComputationCC::Slot s;
-      s.access = access;
-      if (access == Access::kWrite) {
-        s.pv = gate.admit(1);
-        rw.joinable_version = 0;  // later readers must start a new group
-      } else if (rw.joinable_version != 0 && gate.lv() < rw.joinable_version) {
-        // Join the open reader group: its turn has not passed and no
-        // writer was admitted in between.
-        s.pv = rw.joinable_version;
-        ++rw.group_members[s.pv];
-      } else {
-        s.pv = gate.admit(1);
-        rw.joinable_version = s.pv;
-        rw.group_members[s.pv] = 1;
-      }
-      // Reader groups share a version; the first member stands in as the
-      // holder (note_admission keeps the earliest comp per version).
-      diag::WaitRegistry::instance().note_admission(&gate, nullptr, s.pv, k.value());
-      slots.emplace(mp, s);
+  // Caller must hold gates_.gate(mp).admission_mutex().
+  auto admit_one = [&](MicroprotocolId mp) {
+    const Access access = spec.accesses().at(mp);
+    auto& gate = gates_.gate(mp);
+    auto& rw = rw_state(mp);
+    VCARWComputationCC::Slot s;
+    s.access = access;
+    if (access == Access::kWrite) {
+      s.pv = gate.admit(1, k.value());
+      rw.joinable_version = 0;  // later readers must start a new group
+    } else if (rw.joinable_version != 0 && gate.lv() < rw.joinable_version) {
+      // Join the open reader group: its turn has not passed and no
+      // writer was admitted in between. The group shares a version; its
+      // first member already stands in as the holder.
+      s.pv = rw.joinable_version;
+      ++rw.group_members[s.pv];
+    } else {
+      s.pv = gate.admit(1, k.value());
+      rw.joinable_version = s.pv;
+      rw.group_members[s.pv] = 1;
     }
+    slots.emplace(mp, s);
+  };
+  const auto& members = spec.members();
+  if (members.size() == 1) {
+    // Sharded fast path: group joining mutates per-mp shared state, so rw
+    // takes the single member gate's admission lock — contention stays
+    // per-microprotocol instead of controller-wide.
+    stats_.admit_fast.add();
+    const MicroprotocolId mp = members.front();
+    std::unique_lock lock(gates_.gate(mp).admission_mutex());
+    admit_one(mp);
+  } else {
+    stats_.admit_slow.add();
+    OrderedAdmission locks(gates_, members);
+    for (MicroprotocolId mp : members) admit_one(mp);
   }
   return std::make_unique<VCARWComputationCC>(*this, k, std::move(slots));
 }

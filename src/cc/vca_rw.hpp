@@ -40,7 +40,11 @@ class VCARWController : public ConcurrencyController {
  private:
   friend class VCARWComputationCC;
 
-  /// Reader-group bookkeeping per microprotocol; guarded by admission_mu_.
+  /// Reader-group bookkeeping per microprotocol. The *contents* are
+  /// guarded by the owning gate's admission_mutex() — rw admissions are
+  /// sharded per microprotocol, not funnelled through one controller lock
+  /// (group joining reads and writes this shared state, so unlike the
+  /// other VCA variants even the single-mp case takes its per-gate lock).
   struct RwState {
     /// The group currently accepting joiners (0: none — either no reader
     /// group exists or a writer was admitted after it).
@@ -50,8 +54,14 @@ class VCARWController : public ConcurrencyController {
     std::unordered_map<std::uint64_t, std::uint64_t> group_members;
   };
 
-  std::mutex admission_mu_;
+  /// First-touch lookup of a microprotocol's RwState. Only the map
+  /// *structure* is guarded by rw_map_mu_ (references are node-stable
+  /// across rehash); callers must hold the gate's admission mutex to touch
+  /// the returned state.
+  RwState& rw_state(MicroprotocolId mp);
+
   GateTable gates_;
+  std::mutex rw_map_mu_;
   std::unordered_map<MicroprotocolId, RwState> rw_;
 };
 

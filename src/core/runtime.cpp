@@ -18,6 +18,64 @@ Runtime::~Runtime() {
   pool_.shutdown();
 }
 
+std::function<void()> Runtime::root_task(std::shared_ptr<Computation> comp,
+                                         std::function<void(Context&)> root,
+                                         std::uint64_t ticket) {
+  return [this, comp = std::move(comp), ticket, root = std::move(root)] {
+    diag::ScopedComputation diag_scope(comp->id().value());
+    StepHook* hook = opts_.step_hook;
+    if (hook != nullptr) hook->on_task_started(comp->id(), ticket);
+    // The loop only repeats under TSO, whose wait-die losers roll back
+    // their TxVar state and re-run with a fresh timestamp. The versioning
+    // controllers never abort, so the first pass is the only pass.
+    constexpr std::uint32_t kMaxRestarts = 1000;
+    for (;;) {
+      Context ctx(comp, HandlerId{});
+      try {
+        comp->cc().on_start();
+        // on_start may have parked (serial turnstile) and lost the
+        // exploration token; re-acquire it with no locks held before
+        // running observable work.
+        if (hook != nullptr) hook->resync(comp->id());
+        root(ctx);
+      } catch (const RestartNeeded&) {
+        // Order matters: roll the TxVar state back *while the claims are
+        // still held* — releasing first would let another computation read
+        // (and build on) state the rollback is about to clobber.
+        comp->undo_log().rollback();  // restore TxVar state
+        comp->cc().on_abort();        // then release claims; keeps its timestamp
+        if (hook != nullptr) hook->resync(comp->id());  // on_abort may park (death wait)
+        // Everything this pass touched has been undone; tell the trace so
+        // the isolation checker ignores the aborted accesses. The retry
+        // keeps the original timestamp (classic wait-die), so a restarted
+        // computation only ever gets older relative to newcomers and
+        // cannot starve.
+        if (trace_) {
+          trace_->record(TracePhase::kAbort, comp->id(), MicroprotocolId{}, HandlerId{});
+        }
+        comp->count_restart();
+        if (comp->restarts() >= kMaxRestarts) {
+          comp->record_error(std::make_exception_ptr(
+              SamoaError("TSO computation exceeded the restart limit (livelock?)")));
+          break;
+        }
+        continue;
+      } catch (...) {
+        comp->record_error(std::current_exception());
+      }
+      comp->undo_log().clear();  // committed: drop the rollback entries
+      break;
+    }
+    comp->cc().on_root_done();
+    if (hook != nullptr) hook->resync(comp->id());
+    // If this was the computation's last task, task_finished runs
+    // finalize (on_complete + completion signal) on this thread, still
+    // under the exploration token; the token is released for good below.
+    comp->task_finished();
+    if (hook != nullptr) hook->on_task_finished(comp->id());
+  };
+}
+
 ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Context&)> root) {
   if (!stack_.sealed()) stack_.seal();
   if (spec.kind() == Isolation::Kind::Route) spec.resolve_route(stack_);
@@ -48,66 +106,69 @@ ComputationHandle Runtime::spawn_isolated(Isolation spec, std::function<void(Con
     comp->task_started();  // the root expression counts as one task
     const std::uint64_t ticket =
         opts_.step_hook != nullptr ? opts_.step_hook->on_task_submitted(id) : 0;
-    pool_.submit(
-        [this, comp, ticket, root = std::move(root)] {
-      diag::ScopedComputation diag_scope(comp->id().value());
-      StepHook* hook = opts_.step_hook;
-      if (hook != nullptr) hook->on_task_started(comp->id(), ticket);
-      // The loop only repeats under TSO, whose wait-die losers roll back
-      // their TxVar state and re-run with a fresh timestamp. The versioning
-      // controllers never abort, so the first pass is the only pass.
-      constexpr std::uint32_t kMaxRestarts = 1000;
-      for (;;) {
-        Context ctx(comp, HandlerId{});
-        try {
-          comp->cc().on_start();
-          // on_start may have parked (serial turnstile) and lost the
-          // exploration token; re-acquire it with no locks held before
-          // running observable work.
-          if (hook != nullptr) hook->resync(comp->id());
-          root(ctx);
-        } catch (const RestartNeeded&) {
-          // Order matters: roll the TxVar state back *while the claims are
-          // still held* — releasing first would let another computation read
-          // (and build on) state the rollback is about to clobber.
-          comp->undo_log().rollback();  // restore TxVar state
-          comp->cc().on_abort();        // then release claims; keeps its timestamp
-          if (hook != nullptr) hook->resync(comp->id());  // on_abort may park (death wait)
-          // Everything this pass touched has been undone; tell the trace so
-          // the isolation checker ignores the aborted accesses. The retry
-          // keeps the original timestamp (classic wait-die), so a restarted
-          // computation only ever gets older relative to newcomers and
-          // cannot starve.
-          if (trace_) {
-            trace_->record(TracePhase::kAbort, comp->id(), MicroprotocolId{}, HandlerId{});
-          }
-          comp->count_restart();
-          if (comp->restarts() >= kMaxRestarts) {
-            comp->record_error(std::make_exception_ptr(
-                SamoaError("TSO computation exceeded the restart limit (livelock?)")));
-            break;
-          }
-          continue;
-        } catch (...) {
-          comp->record_error(std::current_exception());
-        }
-        comp->undo_log().clear();  // committed: drop the rollback entries
-        break;
-      }
-      comp->cc().on_root_done();
-      if (hook != nullptr) hook->resync(comp->id());
-      // If this was the computation's last task, task_finished runs
-      // finalize (on_complete + completion signal) on this thread, still
-      // under the exploration token; the token is released for good below.
-      comp->task_finished();
-      if (hook != nullptr) hook->on_task_finished(comp->id());
-        },
-        id.value());
+    pool_.submit(root_task(comp, std::move(root), ticket), id.value());
   } catch (...) {
     if (remove_inflight(id) && opts_.clock != nullptr) opts_.clock->unpin();
     throw;
   }
   return ComputationHandle(comp);
+}
+
+std::vector<ComputationHandle> Runtime::spawn_isolated_batch(std::vector<SpawnRequest> reqs) {
+  std::vector<ComputationHandle> handles;
+  if (reqs.empty()) return handles;
+  if (!stack_.sealed()) stack_.seal();
+  for (SpawnRequest& r : reqs) {
+    if (r.spec.kind() == Isolation::Kind::Route) r.spec.resolve_route(stack_);
+  }
+
+  // Step 1 for the whole burst: ids in request order, then one controller
+  // batch admission — versions claimed respect request order on every
+  // shared microprotocol, exactly as if spawn_isolated ran sequentially.
+  std::vector<AdmitRequest> admits;
+  admits.reserve(reqs.size());
+  for (const SpawnRequest& r : reqs) admits.push_back({comp_ids_.next(), &r.spec});
+  auto ccs = controller_->admit_batch(admits);
+
+  std::vector<std::shared_ptr<Computation>> comps;
+  comps.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    auto comp = std::make_shared<Computation>(*this, admits[i].k, std::move(reqs[i].spec),
+                                              std::move(ccs[i]));
+    if (opts_.policy == CCPolicy::kTSO) comp->enable_undo();
+    comps.push_back(std::move(comp));
+  }
+  {
+    std::unique_lock lock(inflight_mu_);
+    for (const auto& comp : comps) inflight_.emplace(comp->id(), comp);
+  }
+  // Same pin/unpin discipline as spawn_isolated, one pin per computation;
+  // on a submission failure every not-yet-completed member is rolled out.
+  if (opts_.clock != nullptr) {
+    for (std::size_t i = 0; i < comps.size(); ++i) opts_.clock->pin();
+  }
+  try {
+    stats_.spawned.add(comps.size());
+    std::vector<ElasticThreadPool::Task> tasks;
+    tasks.reserve(comps.size());
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+      auto& comp = comps[i];
+      if (trace_) trace_->record(TracePhase::kSpawn, comp->id(), MicroprotocolId{}, HandlerId{});
+      comp->task_started();  // the root expression counts as one task
+      const std::uint64_t ticket =
+          opts_.step_hook != nullptr ? opts_.step_hook->on_task_submitted(comp->id()) : 0;
+      tasks.push_back({root_task(comp, std::move(reqs[i].root), ticket), comp->id().value()});
+    }
+    pool_.submit_batch(std::move(tasks));
+  } catch (...) {
+    for (const auto& comp : comps) {
+      if (remove_inflight(comp->id()) && opts_.clock != nullptr) opts_.clock->unpin();
+    }
+    throw;
+  }
+  handles.reserve(comps.size());
+  for (auto& comp : comps) handles.emplace_back(std::move(comp));
+  return handles;
 }
 
 void Runtime::record_computation_done(ComputationId id) {

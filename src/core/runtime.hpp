@@ -56,6 +56,21 @@ class Runtime {
   /// the expression e of `isolated M e`. Seals the stack on first use.
   ComputationHandle spawn_isolated(Isolation spec, std::function<void(Context&)> root);
 
+  /// One element of a batched spawn: the same (spec, root) pair
+  /// spawn_isolated takes.
+  struct SpawnRequest {
+    Isolation spec;
+    std::function<void(Context&)> root;
+  };
+
+  /// Spawn a burst of computations as one admission transaction: the
+  /// controller admits the whole batch (one version-range claim per gate
+  /// for compatible single-mp bursts — see admit_batch), and the pool
+  /// enqueues every root task under a single lock acquisition. Semantics
+  /// are identical to calling spawn_isolated for each request in order;
+  /// handle i corresponds to request i.
+  std::vector<ComputationHandle> spawn_isolated_batch(std::vector<SpawnRequest> reqs);
+
   /// Block until every computation spawned so far completed.
   void drain();
 
@@ -86,6 +101,11 @@ class Runtime {
   /// Erase `id` from inflight_, waking drain(). Returns whether this call
   /// removed it — the winner owns the computation's virtual-time unpin.
   bool remove_inflight(ComputationId id);
+
+  /// Build the pool task that runs `root` as `comp`'s root expression
+  /// (including the TSO restart loop); shared by single and batched spawn.
+  std::function<void()> root_task(std::shared_ptr<Computation> comp,
+                                  std::function<void(Context&)> root, std::uint64_t ticket);
 
   Stack& stack_;
   RuntimeOptions opts_;

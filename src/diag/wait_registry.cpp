@@ -57,6 +57,11 @@ void WaitRegistry::forget_subject(const void* subject) {
   subjects_.erase(subject);
 }
 
+void WaitRegistry::attach_source(const void* subject, const HolderSource* src) {
+  std::unique_lock lock(mu_);
+  subjects_[subject].source = src;
+}
+
 void WaitRegistry::register_pool(samoa::ElasticThreadPool* pool) {
   std::unique_lock lock(mu_);
   pools_.push_back(pool);
@@ -111,8 +116,16 @@ Dump WaitRegistry::snapshot() const {
       Dump::SubjectState ss;
       ss.subject = subject;
       ss.name = s.name;
-      ss.last_published = s.last_published;
-      for (const auto& [ver, comp] : s.holders) ss.holders.push_back({ver, comp});
+      if (s.source != nullptr) {
+        // Self-tracking subject (version gate): pull a lock-free snapshot.
+        // Sources never call back into the registry, so querying them under
+        // mu_ is safe.
+        ss.last_published = s.source->last_published();
+        ss.holders = s.source->outstanding_holders();
+      } else {
+        ss.last_published = s.last_published;
+        for (const auto& [ver, comp] : s.holders) ss.holders.push_back({ver, comp});
+      }
       d.subjects.push_back(std::move(ss));
     }
     // Pool snapshots nest the pool mutex under the registry mutex (the

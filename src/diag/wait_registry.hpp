@@ -100,6 +100,21 @@ struct HolderEntry {
   std::uint64_t comp = 0;
 };
 
+/// A subject that tracks its own holders lock-free and hands the registry a
+/// snapshot on demand, instead of funnelling every admission through
+/// note_admission()'s global mutex. Version gates implement this: with a
+/// lock-free admission fast path, one registry-mutex acquisition per
+/// admission would serialise exactly the path the sharded ticket scheme
+/// de-serialises. Both methods are called only from snapshot() (cold path)
+/// and must be safe against concurrent admissions/publishes on the subject;
+/// best-effort staleness is fine — dumps are diagnostics, not oracles.
+class HolderSource {
+ public:
+  virtual ~HolderSource() = default;
+  virtual std::uint64_t last_published() const = 0;
+  virtual std::vector<HolderEntry> outstanding_holders() const = 0;
+};
+
 struct PoolState {
   const samoa::ElasticThreadPool* pool = nullptr;
   std::size_t live = 0;
@@ -165,6 +180,12 @@ class WaitRegistry {
   /// Forget a subject entirely (its owner is being destroyed).
   void forget_subject(const void* subject);
 
+  /// Register `subject` as self-tracking: snapshot() reads holders and the
+  /// published version from `src` instead of the registry's own maps, and
+  /// the subject never calls note_admission/note_release. Called once at
+  /// subject construction (cold); detach via forget_subject.
+  void attach_source(const void* subject, const HolderSource* src);
+
   // --- pools ---
   void register_pool(samoa::ElasticThreadPool* pool);
   void unregister_pool(samoa::ElasticThreadPool* pool);
@@ -207,6 +228,9 @@ class WaitRegistry {
     std::string name;
     std::uint64_t last_published = 0;
     std::map<std::uint64_t, std::uint64_t> holders;  // version -> comp
+    /// Non-null for self-tracking subjects (version gates): snapshot()
+    /// queries the source and ignores the maps above.
+    const HolderSource* source = nullptr;
   };
 
   mutable std::mutex mu_;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 namespace samoa {
 
@@ -27,23 +29,69 @@ double Histogram::bucket_upper_ns(int b) {
   return std::ldexp(1.0 + (sub + 1) * 0.25, log2);
 }
 
-void Histogram::record_ns(std::uint64_t ns) {
-  buckets_[bucket_for(ns)].fetch_add(1, std::memory_order_relaxed);
-  total_count_.fetch_add(1, std::memory_order_relaxed);
-  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+Histogram::Stripe& Histogram::stripe_for_this_thread() {
+  // Hash of the thread id, cached: a thread always lands on the same
+  // stripe, so writer contention only arises between threads that hash
+  // together.
+  static thread_local const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+  return stripes_[idx];
 }
 
-std::uint64_t Histogram::count() const { return total_count_.load(std::memory_order_relaxed); }
+void Histogram::record_ns(std::uint64_t ns) {
+  buckets_[bucket_for(ns)].fetch_add(1, std::memory_order_relaxed);
+  Stripe& s = stripe_for_this_thread();
+  // Seqlock write: take the stripe by CASing its sequence to odd, update
+  // the pair, release to even. Readers retry while the sequence is odd or
+  // moved, so they can never see a half-updated (count, ns) pair.
+  std::uint64_t seq = s.seq.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((seq & 1) == 0 &&
+        s.seq.compare_exchange_weak(seq, seq + 1, std::memory_order_acquire,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+    if (seq & 1) seq = s.seq.load(std::memory_order_relaxed);
+  }
+  s.count.store(s.count.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  s.ns.store(s.ns.load(std::memory_order_relaxed) + ns, std::memory_order_relaxed);
+  s.seq.store(seq + 2, std::memory_order_release);
+}
+
+void Histogram::totals(std::uint64_t& count, std::uint64_t& ns) const {
+  count = 0;
+  ns = 0;
+  for (const Stripe& s : stripes_) {
+    for (;;) {
+      const std::uint64_t q1 = s.seq.load(std::memory_order_acquire);
+      if (q1 & 1) continue;  // writer mid-update
+      const std::uint64_t c = s.count.load(std::memory_order_acquire);
+      const std::uint64_t n = s.ns.load(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_acquire) == q1) {
+        count += c;
+        ns += n;
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t c, n;
+  totals(c, n);
+  return c;
+}
 
 double Histogram::mean_ns() const {
-  const auto c = total_count_.load(std::memory_order_relaxed);
+  std::uint64_t c, n;
+  totals(c, n);
   if (c == 0) return 0.0;
-  return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) / static_cast<double>(c);
+  return static_cast<double>(n) / static_cast<double>(c);
 }
 
 double Histogram::quantile_ns(double q) const {
   q = std::clamp(q, 0.0, 1.0);
-  const auto c = total_count_.load(std::memory_order_relaxed);
+  const auto c = count();
   if (c == 0) return 0.0;
   const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(c)));
   std::uint64_t seen = 0;
@@ -55,9 +103,13 @@ double Histogram::quantile_ns(double q) const {
 }
 
 void Histogram::reset() {
+  // Not atomic with respect to concurrent recording (same as before the
+  // striping): reset between measurement phases, not mid-flight.
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  total_count_.store(0, std::memory_order_relaxed);
-  total_ns_.store(0, std::memory_order_relaxed);
+  for (Stripe& s : stripes_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.ns.store(0, std::memory_order_relaxed);
+  }
 }
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}

@@ -29,6 +29,18 @@ class Counter {
 
 /// Latency histogram with logarithmic buckets covering ~1ns .. ~1000s.
 /// Records are lock-free; percentile extraction takes a snapshot.
+///
+/// The running totals live in cache-line-padded *stripes*, each a tiny
+/// seqlock over its (count, ns) pair. Recording CASes its stripe's
+/// sequence to odd, bumps the pair, and releases to even; a reader retries
+/// a stripe until it observes an even, unchanged sequence around the pair.
+/// This is what makes mean_ns() exact under concurrent recording: with the
+/// totals as two independent atomics (the old layout), a record landing
+/// between the two loads skewed the reported mean — count from after the
+/// record, sum from before it (or vice versa). Striping keeps writers
+/// mostly uncontended (a writer only spins against another recorder that
+/// hashed to the same stripe); every field is an atomic, so the protocol
+/// is also race-free under TSan, not just in practice.
 class Histogram {
  public:
   Histogram();
@@ -44,12 +56,22 @@ class Histogram {
 
  private:
   static constexpr int kBuckets = 128;
+  static constexpr std::size_t kStripes = 16;
   static int bucket_for(std::uint64_t ns);
   static double bucket_upper_ns(int b);
 
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> seq{0};  // odd while a writer updates the pair
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> ns{0};
+  };
+
+  Stripe& stripe_for_this_thread();
+  /// Consistent (count, ns) totals: per-stripe seqlock reads, summed.
+  void totals(std::uint64_t& count, std::uint64_t& ns) const;
+
   std::atomic<std::uint64_t> buckets_[kBuckets];
-  std::atomic<std::uint64_t> total_count_{0};
-  std::atomic<std::uint64_t> total_ns_{0};
+  Stripe stripes_[kStripes];
 };
 
 /// RAII timer recording into a histogram on destruction.

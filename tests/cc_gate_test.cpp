@@ -9,6 +9,7 @@
 #include "cc/version_gate.hpp"
 #include "core/stack.hpp"
 #include "core/trace.hpp"
+#include "diag/wait_registry.hpp"
 #include "util/sync.hpp"
 
 namespace samoa {
@@ -123,6 +124,112 @@ TEST(VersionGate, DeferredUpgradeWakesWaiters) {
   gate.set_lv(1);  // deferred takes it to 2
   passed.wait();
   waiter.join();
+}
+
+TEST(VersionGate, FastPublishSkipsLockWhenNobodyParked) {
+  VersionGate gate;
+  gate.admit(1);
+  gate.set_lv(1);  // nobody parked, nothing deferred -> lock-free publish
+  gate.increment_lv();
+  EXPECT_EQ(gate.fast_publishes(), 2u);
+  EXPECT_EQ(gate.slow_publishes(), 0u);
+}
+
+TEST(VersionGate, SlowPublishTakenWhenWaiterParked) {
+  VersionGate gate;
+  CCStats stats;
+  OneShotEvent passed;
+  std::thread waiter([&] {
+    gate.wait_exact(1, stats);
+    passed.set();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.set_lv(1);
+  passed.wait();
+  waiter.join();
+  EXPECT_EQ(gate.slow_publishes(), 1u);
+}
+
+TEST(VersionGate, ClaimRangeReservesConsecutiveVersions) {
+  VersionGate gate;
+  // A batch of 4 single-mp admissions claims [1, 4] with one fetch_add.
+  EXPECT_EQ(gate.claim_range(4), 4u);
+  // The next admission continues where the range ended.
+  EXPECT_EQ(gate.admit(1), 5u);
+}
+
+TEST(VersionGate, CancelWhileParkedUnwindsWithException) {
+  VersionGate gate;
+  CCStats stats;
+  OneShotEvent cancelled_seen;
+  std::thread waiter([&] {
+    diag::ScopedComputation as_comp(77);
+    try {
+      gate.wait_exact(5, stats);
+    } catch (const WaitCancelled&) {
+      cancelled_seen.set();
+    }
+  });
+  // Wait until the thread is actually parked before revoking it.
+  while (diag::WaitRegistry::instance().wait_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(gate.cancel_waiters(77), 1u);
+  cancelled_seen.wait();
+  waiter.join();
+}
+
+TEST(VersionGate, CancelledWaiterLeavesNoStaleAccounting) {
+  // Regression: a waiter cancelled mid-park used to stay hooked in the
+  // waiter lists, so later publishes notified (and counted) the stale
+  // entry — wakeups_delivered() drifted past the number of real parks.
+  VersionGate gate;
+  CCStats stats;
+  OneShotEvent window_cancelled;
+  std::thread parked_window([&] {
+    diag::ScopedComputation as_comp(88);
+    try {
+      gate.wait_window(3, 5, stats);
+    } catch (const WaitCancelled&) {
+      window_cancelled.set();
+    }
+  });
+  while (diag::WaitRegistry::instance().wait_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(gate.cancel_waiters(88), 1u);
+  window_cancelled.wait();
+  parked_window.join();
+  // Publish straight through the cancelled waiter's window: nothing is
+  // parked any more, so no wakeup may be delivered or counted.
+  gate.set_lv(3);
+  gate.set_lv(4);
+  EXPECT_EQ(gate.wakeups_delivered(), 0u);
+  // Cancelling a computation with no parked waits is a no-op.
+  EXPECT_EQ(gate.cancel_waiters(88), 0u);
+}
+
+TEST(VersionGate, WakeupCountedOncePerParkAcrossDeferredChain) {
+  // A window waiter notified at several intermediate lv values of one
+  // deferred chain still counts as a single delivered wakeup: the bound
+  // pinned here is what keeps the publish path O(1) in the backlog.
+  VersionGate gate;
+  CCStats stats;
+  gate.schedule_set(1, 2);
+  gate.schedule_set(2, 3);
+  OneShotEvent passed;
+  std::thread waiter([&] {
+    gate.wait_window(1, 10, stats);
+    passed.set();
+  });
+  while (diag::WaitRegistry::instance().wait_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gate.set_lv(1);  // chain: 1 -> 2 -> 3, each landing inside the window
+  passed.wait();
+  waiter.join();
+  EXPECT_EQ(gate.lv(), 3u);
+  EXPECT_EQ(gate.wakeups_delivered(), 1u);
 }
 
 class ThreeMp : public Microprotocol {

@@ -79,8 +79,10 @@ TEST(WaitRegistry, ProgressEpochAdvancesOnGatePublish) {
 class CrossedGateDeadlock {
  public:
   CrossedGateDeadlock() {
-    WaitRegistry::instance().note_admission(&gate_a_, "mp-A", 1, 1);
-    WaitRegistry::instance().note_admission(&gate_b_, "mp-B", 1, 2);
+    // Gates self-report holders to the registry (HolderSource): admitting
+    // through the gate is what records "comp N holds v1".
+    gate_a_.admit(1, 1);
+    gate_b_.admit(1, 2);
     t1_ = std::thread([this] {
       diag::ScopedComputation as_comp(1);
       gate_b_.wait_exact(1, stats_, "mp-B");  // blocked until comp 2 publishes
@@ -104,8 +106,7 @@ class CrossedGateDeadlock {
     gate_b_.set_lv(1);
     t1_.join();
     t2_.join();
-    WaitRegistry::instance().forget_subject(&gate_a_);
-    WaitRegistry::instance().forget_subject(&gate_b_);
+    // The gates unregister themselves from the registry on destruction.
   }
 
   std::size_t parked_waits() const {

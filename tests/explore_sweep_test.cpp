@@ -106,5 +106,34 @@ TEST(ExploreSweep, IsolatingPoliciesStayCleanAcrossTheSweep) {
   }
 }
 
+TEST(ExploreSweep, AdmissionHeavyWorkloadStaysClean) {
+  // Admission-heavy cell: twice the computations, one call each, over few
+  // microprotocols — nearly every scheduling decision lands in Step 1
+  // (the sharded lock-free admission fast path and its publish handshake)
+  // rather than inside handler bodies. This is the exploration-side pin
+  // for the lock-free gate rewrite: a version ordering broken by a racy
+  // admission shows up here as an isolation violation with a shrunk,
+  // replayable schedule. The nightly CI sweep reruns this cell at 16x the
+  // schedule budget across its seed matrix.
+  CellOptions base = gate_cell(CCPolicy::kVCABasic, StrategyKind::kRandomWalk);
+  base.comps = 8;
+  base.mps = 2;
+  base.calls = 1;
+  base.max_schedules = 10;
+  const std::vector<CCPolicy> policies = {CCPolicy::kSerial,   CCPolicy::kVCABasic,
+                                          CCPolicy::kVCABound, CCPolicy::kVCARoute,
+                                          CCPolicy::kVCARW,    CCPolicy::kTSO};
+  const std::vector<CellResult> results =
+      sweep(policies, {StrategyKind::kRandomWalk}, {samoa::testing::test_seed(42)}, base);
+  ASSERT_EQ(results.size(), policies.size());
+  for (const CellResult& res : results) {
+    EXPECT_FALSE(res.violation_found)
+        << res.cell_name() << " violated isolation under the admission-heavy workload!\n"
+        << res.violation_summary << "\nshrunk trace: " << res.shrunk.encode() << "\nrepro:\n"
+        << res.repro;
+    EXPECT_EQ(res.schedules_run, schedule_budget(base.max_schedules)) << res.cell_name();
+  }
+}
+
 }  // namespace
 }  // namespace samoa::explore

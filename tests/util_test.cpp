@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <set>
 #include <thread>
 #include <vector>
@@ -139,6 +140,31 @@ TEST(Histogram, QuantileOrdering) {
   for (int i = 0; i < 10000; ++i) h.record_ns(r.next_below(1'000'000));
   EXPECT_LE(h.quantile_ns(0.5), h.quantile_ns(0.99));
   EXPECT_LE(h.quantile_ns(0.1), h.quantile_ns(0.5));
+}
+
+TEST(Histogram, MeanConsistentUnderConcurrentRecording) {
+  // Regression: mean_ns() used to read total_count_ and total_ns_ as two
+  // independent atomic loads, so a record() landing between them produced
+  // a mean computed from mismatched totals. With every thread recording
+  // the same constant, any consistent (count, ns) snapshot yields exactly
+  // that constant — a skewed pair shows up as a different value.
+  Histogram h;
+  constexpr std::uint64_t kValue = 100;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) h.record_ns(kValue);
+    });
+  }
+  for (int i = 0; i < 20000; ++i) {
+    if (h.count() == 0) continue;  // no records yet: mean is defined as 0
+    ASSERT_DOUBLE_EQ(h.mean_ns(), static_cast<double>(kValue));
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_DOUBLE_EQ(h.mean_ns(), static_cast<double>(kValue));
+  EXPECT_GT(h.count(), 0u);
 }
 
 TEST(Histogram, ResetClears) {
