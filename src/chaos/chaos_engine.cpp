@@ -50,6 +50,16 @@ void ChaosEngine::apply(const FaultAction& action) {
       stats_.heals.add();
       os << "heal " << action.a.value() << " <-> " << action.b.value();
       break;
+    case FaultAction::Kind::kPartitionOneway:
+      net_.set_partitioned_oneway(action.a, action.b, true);
+      stats_.partitions.add();
+      os << "partition " << action.a.value() << " -> " << action.b.value() << " (one-way)";
+      break;
+    case FaultAction::Kind::kHealOneway:
+      net_.set_partitioned_oneway(action.a, action.b, false);
+      stats_.heals.add();
+      os << "heal " << action.a.value() << " -> " << action.b.value() << " (one-way)";
+      break;
     case FaultAction::Kind::kLossBurst: {
       std::unique_lock lock(mu_);
       if (!burst_active_) {

@@ -40,6 +40,35 @@ FaultPlan& FaultPlan::heal(std::chrono::microseconds at, SiteId a, SiteId b) {
   return *this;
 }
 
+FaultPlan& FaultPlan::partition_oneway(std::chrono::microseconds at, SiteId a, SiteId b) {
+  FaultAction act;
+  act.at = at;
+  act.kind = FaultAction::Kind::kPartitionOneway;
+  act.a = a;
+  act.b = b;
+  actions_.push_back(std::move(act));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_oneway(std::chrono::microseconds at, SiteId a, SiteId b) {
+  FaultAction act;
+  act.at = at;
+  act.kind = FaultAction::Kind::kHealOneway;
+  act.a = a;
+  act.b = b;
+  actions_.push_back(std::move(act));
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap(std::chrono::microseconds at, SiteId a, SiteId b,
+                           std::chrono::microseconds period, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    partition(at + 2 * i * period, a, b);
+    heal(at + (2 * i + 1) * period, a, b);
+  }
+  return *this;
+}
+
 FaultPlan& FaultPlan::loss_burst(std::chrono::microseconds from, std::chrono::microseconds until,
                                  net::LinkOptions burst) {
   FaultAction on;

@@ -24,7 +24,17 @@
 namespace samoa::chaos {
 
 struct FaultAction {
-  enum class Kind { kCrash, kRecover, kPartition, kHeal, kLossBurst, kLossClear, kCall };
+  enum class Kind {
+    kCrash,
+    kRecover,
+    kPartition,
+    kHeal,
+    kPartitionOneway,
+    kHealOneway,
+    kLossBurst,
+    kLossClear,
+    kCall,
+  };
 
   std::chrono::microseconds at{0};  // virtual-time offset from engine start
   Kind kind = Kind::kCall;
@@ -45,6 +55,16 @@ class FaultPlan {
   FaultPlan& partition(std::chrono::microseconds at, SiteId a, SiteId b);
   /// Heal a partition.
   FaultPlan& heal(std::chrono::microseconds at, SiteId a, SiteId b);
+  /// Cut only the a -> b direction (asymmetric partition: a's packets to b
+  /// are lost while b can still reach a).
+  FaultPlan& partition_oneway(std::chrono::microseconds at, SiteId a, SiteId b);
+  /// Heal an asymmetric cut of the a -> b direction.
+  FaultPlan& heal_oneway(std::chrono::microseconds at, SiteId a, SiteId b);
+  /// Flapping link: starting at `at`, cut and heal a <-> b `count` times,
+  /// each cut lasting `period` with `period` of healed link in between
+  /// (cut at `at`, heal at `at+period`, cut at `at+2*period`, ...).
+  FaultPlan& flap(std::chrono::microseconds at, SiteId a, SiteId b,
+                  std::chrono::microseconds period, std::size_t count);
   /// Override the network's default link options (typically with a high
   /// drop_probability) for [from, until); the previous defaults are
   /// restored at `until`.

@@ -57,11 +57,13 @@ struct GcEvents {
   EventType rc_data{"net.RcData"};
   EventType rc_ack{"net.RcAck"};
   EventType fd_heartbeat{"net.FdHeartbeat"};
+  EventType swim_wire{"net.Swim"};
   EventType cs_wire{"net.Consensus"};
   EventType view_install{"net.ViewInstall"};
   EventType retransmit_tick{"tick.Retransmit"};
   EventType heartbeat_tick{"tick.Heartbeat"};
   EventType fd_check_tick{"tick.FdCheck"};
+  EventType swim_tick{"tick.SwimProbe"};
   EventType cs_retry_tick{"tick.CsRetry"};
   EventType api_abcast{"api.ABcast"};
   EventType api_rbcast{"api.Bcast"};

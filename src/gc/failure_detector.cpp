@@ -61,9 +61,24 @@ FailureDetector::FailureDetector(const GcOptions& opts, const GcEvents& events, 
   view_change_ = &register_handler("viewChange", [this](Context&, const Message& m) {
     auto lock = guard();
     view_ = m.as<View>();
+    const auto now = options().now();
     std::unique_lock snap(snap_mu_);
     for (auto it = suspected_.begin(); it != suspected_.end();) {
       it = view_.contains(*it) ? std::next(it) : suspected_.erase(it);
+    }
+    // Liveness records must track the view exactly. An evicted peer's
+    // stale timestamp would otherwise survive into a later view: if the
+    // peer restarts and rejoins, the very first check sees an ancient
+    // last_heard_ and suspects it instantly. And a fresh joiner with no
+    // record would ride on check's lazy seeding — one full fd_timeout of
+    // instant-suspicion exposure if a check never ran between the install
+    // and its first heartbeat. Prune and seed eagerly here instead.
+    for (auto it = last_heard_.begin(); it != last_heard_.end();) {
+      it = view_.contains(it->first) ? std::next(it) : last_heard_.erase(it);
+    }
+    for (SiteId site : view_.members()) {
+      if (site == self_) continue;
+      last_heard_.try_emplace(site, now);
     }
   });
 }
@@ -71,6 +86,11 @@ FailureDetector::FailureDetector(const GcOptions& opts, const GcEvents& events, 
 bool FailureDetector::is_suspected(SiteId site) {
   std::unique_lock snap(snap_mu_);
   return suspected_.contains(site);
+}
+
+bool FailureDetector::tracks(SiteId site) const {
+  std::unique_lock snap(snap_mu_);
+  return last_heard_.contains(site);
 }
 
 }  // namespace samoa::gc

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "gc/detector.hpp"
 #include "gc/events.hpp"
 #include "gc/gc_mp.hpp"
 #include "gc/view.hpp"
@@ -17,7 +18,7 @@
 
 namespace samoa::gc {
 
-class FailureDetector : public GcMicroprotocol {
+class FailureDetector : public GcMicroprotocol, public Detector {
  public:
   FailureDetector(const GcOptions& opts, const GcEvents& events, SiteId self, View initial_view);
 
@@ -26,12 +27,18 @@ class FailureDetector : public GcMicroprotocol {
   const Handler* check_handler() const { return check_; }
   const Handler* view_change_handler() const { return view_change_; }
 
-  std::uint64_t suspicions() const { return suspicions_.value(); }
+  std::uint64_t suspicions() const override { return suspicions_.value(); }
   /// Suspicions withdrawn because a heartbeat arrived again — the
   /// eventually-perfect detector recovering from a false positive (e.g. a
   /// partition outlasting fd_timeout, then healing).
-  std::uint64_t suspicion_revocations() const { return revocations_.value(); }
-  bool is_suspected(SiteId site);
+  std::uint64_t suspicion_revocations() const override { return revocations_.value(); }
+  bool is_suspected(SiteId site) override;
+
+  /// Is there a liveness record for `site`? View-change bookkeeping probe:
+  /// evicted peers must drop out of the map (else a rejoin inherits a
+  /// stale timestamp and gets insta-suspected) and current members must
+  /// have a seed (else the first check after a join starts the clock).
+  bool tracks(SiteId site) const;
 
  private:
   SiteId self_;

@@ -74,6 +74,7 @@ void GroupNode::build_stack() {
   relcomm_ = &stack_->emplace<RelComm>(opts_, events_, self_, empty);
   relcast_ = &stack_->emplace<RelCast>(opts_, events_, self_, empty);
   fd_ = &stack_->emplace<FailureDetector>(opts_, events_, self_, empty);
+  swim_ = &stack_->emplace<SwimDetector>(opts_, events_, self_, empty);
   consensus_ = &stack_->emplace<Consensus>(opts_, events_, self_, empty);
   abcast_ = &stack_->emplace<ABcast>(opts_, events_, self_, empty);
   causal_ = &stack_->emplace<CausalCast>(opts_, events_, self_, empty);
@@ -105,11 +106,13 @@ void GroupNode::bind_all() {
   stack_->bind(events_.rc_data, *relcomm_->recv_data_handler());
   stack_->bind(events_.rc_ack, *relcomm_->recv_ack_handler());
   stack_->bind(events_.fd_heartbeat, *fd_->on_heartbeat_handler());
+  stack_->bind(events_.swim_wire, *swim_->on_wire_handler());
   stack_->bind(events_.cs_wire, *consensus_->on_wire_handler());
   stack_->bind(events_.view_install, *membership_->on_install_handler());
   stack_->bind(events_.retransmit_tick, *relcomm_->retransmit_handler());
   stack_->bind(events_.heartbeat_tick, *fd_->send_heartbeats_handler());
   stack_->bind(events_.fd_check_tick, *fd_->check_handler());
+  stack_->bind(events_.swim_tick, *swim_->tick_handler());
   stack_->bind(events_.cs_retry_tick, *consensus_->retry_handler());
   if (opts_.abcast_impl == ABcastImpl::kConsensus) {
     stack_->bind(events_.api_abcast, *abcast_->submit_handler());
@@ -140,6 +143,7 @@ void GroupNode::bind_all() {
   stack_->bind(events_.view_change, *relcast_->view_change_handler());
   stack_->bind(events_.view_change, *relcomm_->view_change_handler());
   stack_->bind(events_.view_change, *fd_->view_change_handler());
+  stack_->bind(events_.view_change, *swim_->view_change_handler());
   stack_->bind(events_.view_change, *consensus_->view_change_handler());
   stack_->bind(events_.view_change, *abcast_->view_change_handler());
   stack_->bind(events_.view_change, *causal_->view_change_handler());
@@ -168,7 +172,7 @@ Isolation GroupNode::spec(EventClass klass) const {
       // data packet's computation, so the declaration covers the full
       // stack (over-declaration is always legal).
       members = {transport_, relcomm_, relcast_,   abcast_, seq_abcast_, causal_,
-                 consensus_, fd_,      membership_, sink_};
+                 consensus_, fd_,      swim_,       membership_, sink_};
       break;
     case EventClass::kRcAck:
       members = {transport_, relcomm_};
@@ -176,12 +180,17 @@ Isolation GroupNode::spec(EventClass klass) const {
     case EventClass::kFdHeartbeat:
       members = {fd_};
       break;
+    case EventClass::kSwimWire:
+      // Piggybacked updates can raise a suspicion, and the Suspect event
+      // feeds consensus (coordinator rotation), which sends.
+      members = {transport_, swim_, consensus_};
+      break;
     case EventClass::kCsWire:
-      members = {transport_, relcomm_, relcast_, fd_,      consensus_, abcast_,
+      members = {transport_, relcomm_, relcast_, fd_,      swim_, consensus_, abcast_,
                  seq_abcast_, causal_, membership_, sink_};
       break;
     case EventClass::kViewInstall:
-      members = {transport_, relcomm_, relcast_, fd_, consensus_, abcast_,
+      members = {transport_, relcomm_, relcast_, fd_, swim_, consensus_, abcast_,
                  seq_abcast_, causal_, membership_};
       break;
     case EventClass::kRetransmitTick:
@@ -192,6 +201,9 @@ Isolation GroupNode::spec(EventClass klass) const {
       break;
     case EventClass::kFdCheckTick:
       members = {transport_, fd_, consensus_};
+      break;
+    case EventClass::kSwimTick:
+      members = {transport_, swim_, consensus_};
       break;
     case EventClass::kCsRetryTick:
       members = {transport_, consensus_};
@@ -206,7 +218,7 @@ Isolation GroupNode::spec(EventClass klass) const {
       // The submitting site may itself be the sequencer: ordering (and the
       // adeliver cascade) can complete synchronously inside this call.
       members = {transport_, relcomm_, relcast_,   abcast_, seq_abcast_, causal_,
-                 consensus_, fd_,      membership_, sink_};
+                 consensus_, fd_,      swim_,       membership_, sink_};
       break;
     case EventClass::kApiJoinLeave:
       members = {transport_, relcomm_, relcast_, abcast_, consensus_, membership_};
@@ -252,6 +264,9 @@ void GroupNode::on_packet(const net::Packet& packet) {
           spawn(EventClass::kRcAck, events_.rc_ack, Message::of(fw));
         } else if constexpr (std::is_same_v<T, FdHeartbeat>) {
           spawn(EventClass::kFdHeartbeat, events_.fd_heartbeat, Message::of(fw));
+        } else if constexpr (std::is_same_v<T, SwimPing> || std::is_same_v<T, SwimAck> ||
+                             std::is_same_v<T, SwimPingReq>) {
+          spawn(EventClass::kSwimWire, events_.swim_wire, Message::of(fw));
         } else if constexpr (std::is_same_v<T, ViewInstall>) {
           spawn(EventClass::kViewInstall, events_.view_install, Message::of(fw));
         } else {
@@ -289,12 +304,23 @@ void GroupNode::arm_timers() {
   timers_.schedule_periodic(opts_.retransmit_interval, [this] {
     spawn_tick(0, EventClass::kRetransmitTick, events_.retransmit_tick);
   });
-  timers_.schedule_periodic(opts_.heartbeat_interval, [this] {
-    spawn_tick(1, EventClass::kHeartbeatTick, events_.heartbeat_tick);
-  });
-  timers_.schedule_periodic(opts_.fd_timeout, [this] {
-    spawn_tick(2, EventClass::kFdCheckTick, events_.fd_check_tick);
-  });
+  // Only the selected failure detector's ticks run; the other detector's
+  // microprotocol sits in the stack unticked (its handlers never fire).
+  if (opts_.detector_impl == DetectorImpl::kHeartbeat) {
+    timers_.schedule_periodic(opts_.heartbeat_interval, [this] {
+      spawn_tick(1, EventClass::kHeartbeatTick, events_.heartbeat_tick);
+    });
+    timers_.schedule_periodic(opts_.fd_timeout, [this] {
+      spawn_tick(2, EventClass::kFdCheckTick, events_.fd_check_tick);
+    });
+  } else {
+    // The SWIM tick runs at the ack-timeout resolution: the state machine
+    // (direct deadline, period deadline, suspicion expiry) is time-
+    // compared inside the handler, so one fast tick drives all of it.
+    timers_.schedule_periodic(opts_.swim_ack_timeout, [this] {
+      spawn_tick(4, EventClass::kSwimTick, events_.swim_tick);
+    });
+  }
   timers_.schedule_periodic(opts_.cs_retry_interval, [this] {
     spawn_tick(3, EventClass::kCsRetryTick, events_.cs_retry_tick);
   });

@@ -31,6 +31,7 @@
 #include "gc/rel_cast.hpp"
 #include "gc/seq_abcast.hpp"
 #include "gc/rel_comm.hpp"
+#include "gc/swim.hpp"
 #include "gc/transport.hpp"
 #include "net/sim_network.hpp"
 #include "net/timer_service.hpp"
@@ -146,6 +147,13 @@ class GroupNode {
   SeqABcast& seq_ab() { return *seq_abcast_; }
   Consensus& consensus() { return *consensus_; }
   FailureDetector& fd() { return *fd_; }
+  SwimDetector& swim() { return *swim_; }
+  /// The failure detector selected by GcOptions::detector_impl, behind
+  /// the common seam (harnesses compare detectors through this).
+  Detector& detector() {
+    return opts_.detector_impl == DetectorImpl::kSwim ? static_cast<Detector&>(*swim_)
+                                                      : static_cast<Detector&>(*fd_);
+  }
   Transport& transport() { return *transport_; }
   const GcEvents& events() const { return events_; }
   const GcOptions& options() const { return opts_; }
@@ -170,11 +178,13 @@ class GroupNode {
     kRcData,
     kRcAck,
     kFdHeartbeat,
+    kSwimWire,
     kCsWire,
     kViewInstall,
     kRetransmitTick,
     kHeartbeatTick,
     kFdCheckTick,
+    kSwimTick,
     kCsRetryTick,
     kApiRbcast,
     kApiAbcast,
@@ -207,6 +217,7 @@ class GroupNode {
   RelComm* relcomm_ = nullptr;
   RelCast* relcast_ = nullptr;
   FailureDetector* fd_ = nullptr;
+  SwimDetector* swim_ = nullptr;
   Consensus* consensus_ = nullptr;
   ABcast* abcast_ = nullptr;
   CausalCast* causal_ = nullptr;
@@ -220,7 +231,7 @@ class GroupNode {
   // and anything declared after it would be destroyed while a callback
   // can still be running.
   std::mutex tick_mu_;
-  std::array<ComputationHandle, 4> last_tick_;  // one slot per tick class
+  std::array<ComputationHandle, 5> last_tick_;  // one slot per tick class
   std::atomic<std::uint64_t> ticks_coalesced_{0};
   net::TimerService timers_;
   std::atomic<bool> started_{false};

@@ -15,6 +15,9 @@ const char* wire_kind(const Wire& wire) {
         if constexpr (std::is_same_v<T, CsAccepted>) return "CsAccepted";
         if constexpr (std::is_same_v<T, CsDecide>) return "CsDecide";
         if constexpr (std::is_same_v<T, ViewInstall>) return "ViewInstall";
+        if constexpr (std::is_same_v<T, SwimPing>) return "SwimPing";
+        if constexpr (std::is_same_v<T, SwimAck>) return "SwimAck";
+        if constexpr (std::is_same_v<T, SwimPingReq>) return "SwimPingReq";
         return "?";
       },
       wire);

@@ -72,9 +72,53 @@ struct RcAck {
   std::uint64_t seq = 0;
 };
 
-// --- Failure detector ---
+// --- Failure detector (heartbeat) ---
 struct FdHeartbeat {
   std::uint64_t epoch = 0;
+};
+
+// --- Failure detector (SWIM) ---
+/// Member status as disseminated by the SWIM detector. Ordering rules
+/// (Das et al., see DESIGN.md "Membership"): an Alive with a higher
+/// incarnation overrides Alive/Suspect with lower ones; a Suspect
+/// overrides Alive of the *same* incarnation; Faulty overrides everything
+/// (only a view change resurrects a confirmed-faulty member).
+enum class SwimStatus : std::uint8_t { kAlive = 0, kSuspect = 1, kFaulty = 2 };
+
+/// One piggybacked membership update. `incarnation` is the subject's
+/// self-issued incarnation number — only the subject itself may bump it
+/// (by refuting a suspicion), which is what makes refutation unforgeable
+/// against stale gossip.
+struct SwimUpdate {
+  SwimStatus status = SwimStatus::kAlive;
+  SiteId site;
+  std::uint64_t incarnation = 0;
+
+  friend bool operator==(const SwimUpdate&, const SwimUpdate&) = default;
+};
+
+/// Direct probe. `seq` ties the eventual ack back to the prober's
+/// outstanding probe (or to a proxy's relay slot).
+struct SwimPing {
+  std::uint64_t seq = 0;
+  std::vector<SwimUpdate> updates;
+};
+
+/// Probe acknowledgement. `on_behalf_of` names the site whose liveness
+/// the ack attests: the responder itself for a direct ack, the probe
+/// target when a proxy relays an indirect ack back to the origin.
+struct SwimAck {
+  std::uint64_t seq = 0;
+  SiteId on_behalf_of;
+  std::vector<SwimUpdate> updates;
+};
+
+/// Indirect-probe request: "ping `target` for me and relay its ack back
+/// under my sequence number `seq`".
+struct SwimPingReq {
+  std::uint64_t seq = 0;
+  SiteId target;
+  std::vector<SwimUpdate> updates;
 };
 
 // --- Consensus (single-decree, Paxos-style, one instance per slot) ---
@@ -121,7 +165,7 @@ struct ViewInstall {
 };
 
 using Wire = std::variant<RcData, RcAck, FdHeartbeat, CsPrepare, CsPromise, CsAccept, CsAccepted,
-                          CsDecide, ViewInstall>;
+                          CsDecide, ViewInstall, SwimPing, SwimAck, SwimPingReq>;
 
 /// Human-readable wire kind, for diagnostics and drop logs.
 const char* wire_kind(const Wire& wire);

@@ -16,6 +16,9 @@ enum class Tag : std::uint8_t {
   kCsAccepted = 7,
   kCsDecide = 8,
   kViewInstall = 9,
+  kSwimPing = 10,
+  kSwimAck = 11,
+  kSwimPingReq = 12,
 };
 
 void put_app_message(ByteWriter& w, const AppMessage& m) {
@@ -48,6 +51,35 @@ ConsensusValue get_value(ByteReader& r) {
   v.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_app_message(r));
   return v;
+}
+
+void put_swim_updates(ByteWriter& w, const std::vector<SwimUpdate>& updates) {
+  w.put_varint(updates.size());
+  for (const auto& u : updates) {
+    w.put_u8(static_cast<std::uint8_t>(u.status));
+    w.put_varint(u.site.value());
+    w.put_varint(u.incarnation);
+  }
+}
+
+std::vector<SwimUpdate> get_swim_updates(ByteReader& r) {
+  const auto n = r.get_varint();
+  if (n > r.remaining()) {
+    // Each update takes at least 3 bytes; a longer count is malformed.
+    throw CodecError("swim update count exceeds payload");
+  }
+  std::vector<SwimUpdate> updates;
+  updates.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SwimUpdate u;
+    const auto status = r.get_u8();
+    if (status > 2) throw CodecError("bad swim status " + std::to_string(status));
+    u.status = static_cast<SwimStatus>(status);
+    u.site = SiteId(static_cast<SiteId::value_type>(r.get_varint()));
+    u.incarnation = r.get_varint();
+    updates.push_back(u);
+  }
+  return updates;
 }
 
 }  // namespace
@@ -139,6 +171,20 @@ std::vector<std::uint8_t> encode_wire(SiteId from, const gc::Wire& wire) {
           for (SiteId s : msg.members) w.put_varint(s.value());
           w.put_varint(msg.next_instance);
           w.put_varint(msg.next_seq);
+        } else if constexpr (std::is_same_v<T, SwimPing>) {
+          w.put_u8(static_cast<std::uint8_t>(Tag::kSwimPing));
+          w.put_varint(msg.seq);
+          put_swim_updates(w, msg.updates);
+        } else if constexpr (std::is_same_v<T, SwimAck>) {
+          w.put_u8(static_cast<std::uint8_t>(Tag::kSwimAck));
+          w.put_varint(msg.seq);
+          w.put_varint(msg.on_behalf_of.value());
+          put_swim_updates(w, msg.updates);
+        } else if constexpr (std::is_same_v<T, SwimPingReq>) {
+          w.put_u8(static_cast<std::uint8_t>(Tag::kSwimPingReq));
+          w.put_varint(msg.seq);
+          w.put_varint(msg.target.value());
+          put_swim_updates(w, msg.updates);
         }
       },
       wire);
@@ -219,6 +265,29 @@ gc::FromWire decode_wire(const std::vector<std::uint8_t>& bytes) {
       }
       m.next_instance = r.get_varint();
       m.next_seq = r.get_varint();
+      fw.wire = m;
+      break;
+    }
+    case Tag::kSwimPing: {
+      SwimPing m;
+      m.seq = r.get_varint();
+      m.updates = get_swim_updates(r);
+      fw.wire = m;
+      break;
+    }
+    case Tag::kSwimAck: {
+      SwimAck m;
+      m.seq = r.get_varint();
+      m.on_behalf_of = SiteId(static_cast<SiteId::value_type>(r.get_varint()));
+      m.updates = get_swim_updates(r);
+      fw.wire = m;
+      break;
+    }
+    case Tag::kSwimPingReq: {
+      SwimPingReq m;
+      m.seq = r.get_varint();
+      m.target = SiteId(static_cast<SiteId::value_type>(r.get_varint()));
+      m.updates = get_swim_updates(r);
       fw.wire = m;
       break;
     }

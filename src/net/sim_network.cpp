@@ -29,7 +29,43 @@ SimNetwork::~SimNetwork() {
 SiteId SimNetwork::add_site(DeliveryFn deliver) {
   std::unique_lock lock(mu_);
   sites_.push_back(std::move(deliver));
+  lanes_.emplace_back();
   return SiteId(static_cast<SiteId::value_type>(sites_.size() - 1));
+}
+
+bool SimNetwork::push_packet(InFlight item) {
+  Lane& lane = lanes_[item.packet.to.value()];
+  const bool new_lane_head =
+      lane.q.empty() || std::tie(item.deliver_at, item.seq) <
+                            std::tie(lane.q.top().deliver_at, lane.q.top().seq);
+  const HeadRef ref{item.deliver_at, item.seq, item.packet.to.value()};
+  lane.q.push(std::move(item));
+  ++in_flight_count_;
+  if (!new_lane_head) return false;  // lane head unchanged: its claim stands
+  // Prune before comparing: a stale top claim (for an already-delivered
+  // packet) sorts below every live one and would mask a genuinely new
+  // global earliest — a missed wakeup for the delivery loop.
+  prune_heads();
+  const bool new_global_head = heads_.empty() || heads_.top() > ref;
+  heads_.push(ref);
+  return new_global_head;
+}
+
+void SimNetwork::prune_heads() {
+  while (!heads_.empty()) {
+    const HeadRef& top = heads_.top();
+    const Lane& lane = lanes_[top.dest];
+    if (!lane.q.empty() && lane.q.top().deliver_at == top.deliver_at &&
+        lane.q.top().seq == top.seq) {
+      return;
+    }
+    heads_.pop();
+  }
+}
+
+Clock::time_point SimNetwork::earliest_deadline() {
+  prune_heads();
+  return heads_.empty() ? Clock::time_point::max() : heads_.top().deliver_at;
 }
 
 const LinkOptions& SimNetwork::link_for(SiteId from, SiteId to) const {
@@ -59,9 +95,13 @@ void SimNetwork::send(SiteId from, SiteId to, Message payload) {
     stats_.dropped.add();
     return;
   }
-  in_flight_.push(
+  const bool new_earliest = push_packet(
       InFlight{clock_.now() + latency, next_seq_++, Packet{from, to, std::move(payload)}});
-  cv_.notify_all();
+  // The delivery loop only needs to re-evaluate when the global earliest
+  // changed; a packet queued behind others in its lane can't affect the
+  // registered deadline. Skipping the notify keeps broadcast storms from
+  // hammering the loop's condition variable O(packets) times.
+  if (new_earliest) cv_.notify_all();
   lock.unlock();
   // interrupt() must run with mu_ released: the scheduler's wake path locks
   // the parked delivery loop's mutex — this mu_ — to deliver the notify.
@@ -81,6 +121,15 @@ void SimNetwork::set_partitioned(SiteId a, SiteId b, bool partitioned) {
   } else {
     partitioned_.erase(pack_pair(a, b));
     partitioned_.erase(pack_pair(b, a));
+  }
+}
+
+void SimNetwork::set_partitioned_oneway(SiteId from, SiteId to, bool partitioned) {
+  std::unique_lock lock(mu_);
+  if (partitioned) {
+    partitioned_.insert(pack_pair(from, to));
+  } else {
+    partitioned_.erase(pack_pair(from, to));
   }
 }
 
@@ -128,36 +177,46 @@ void SimNetwork::drain() {
   // before it returns; `delivering_` stays set for its whole execution, so
   // waiting on it closes the window in which the queue looks empty while
   // deliveries are still producing work.
-  cv_.wait(lock, [this] { return in_flight_.empty() && !delivering_.valid(); });
+  cv_.wait(lock, [this] { return in_flight_count_ == 0 && !delivering_.valid(); });
 }
 
 void SimNetwork::delivery_loop() {
   std::unique_lock lock(mu_);
   for (;;) {
     if (shutdown_) return;
-    if (in_flight_.empty()) {
+    if (in_flight_count_ == 0) {
       clock_.wait(worker_.id(), lock, cv_,
-                  [this] { return shutdown_ || !in_flight_.empty(); });
+                  [this] { return shutdown_ || in_flight_count_ > 0; });
       continue;
     }
-    const auto deadline = in_flight_.top().deliver_at;
+    const auto deadline = earliest_deadline();
     if (clock_.now() < deadline) {
       // Re-check on wake: an earlier packet, a cancellation of the head, or
       // shutdown may have invalidated the registered deadline.
       clock_.wait_until(worker_.id(), lock, cv_, deadline, [this, deadline] {
-        return shutdown_ || in_flight_.empty() || in_flight_.top().deliver_at != deadline;
+        return shutdown_ || in_flight_count_ == 0 || earliest_deadline() != deadline;
       });
       continue;
     }
-    InFlight item = in_flight_.top();
-    in_flight_.pop();
+    // earliest_deadline() pruned, so the top claim matches its lane's head:
+    // pop both, then re-claim the lane's next head so the merge invariant
+    // (every non-empty lane's head has a live claim) is restored.
+    const HeadRef head = heads_.top();
+    heads_.pop();
+    Lane& lane = lanes_[head.dest];
+    InFlight item = lane.q.top();
+    lane.q.pop();
+    --in_flight_count_;
+    if (!lane.q.empty()) {
+      heads_.push(HeadRef{lane.q.top().deliver_at, lane.q.top().seq, head.dest});
+    }
     // Late crash check: packets in flight to a site that crashed meanwhile
     // are lost (the site is gone).
     const bool lost =
         crashed_.contains(item.packet.to) || sites_[item.packet.to.value()] == nullptr;
     if (lost) {
       stats_.dropped.add();
-      if (in_flight_.empty()) cv_.notify_all();
+      if (in_flight_count_ == 0) cv_.notify_all();
       continue;
     }
     DeliveryFn deliver = sites_[item.packet.to.value()];

@@ -77,6 +77,10 @@ class SimNetwork {
   /// Cut / heal both directions between a and b.
   void set_partitioned(SiteId a, SiteId b, bool partitioned);
 
+  /// Cut / heal one direction only (from -> to): an asymmetric partition,
+  /// the failure mode where a can still reach b but hears nothing back.
+  void set_partitioned_oneway(SiteId from, SiteId to, bool partitioned);
+
   /// Crash a site: everything to/from it is dropped from now on.
   void crash(SiteId site);
   bool crashed(SiteId site) const;
@@ -128,9 +132,31 @@ class SimNetwork {
       return std::tie(deliver_at, seq) > std::tie(o.deliver_at, o.seq);
     }
   };
+  // The in-flight set is sharded into per-destination lanes, merged
+  // through a small heap of lane heads (see the field comments below).
+  struct Lane {
+    std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> q;
+  };
+  /// A (possibly stale) claim that lane `dest`'s head is packet
+  /// (deliver_at, seq). Stale claims are discarded lazily on inspection.
+  struct HeadRef {
+    Clock::time_point deliver_at;
+    std::uint64_t seq;
+    std::size_t dest;
+    bool operator>(const HeadRef& o) const {
+      return std::tie(deliver_at, seq) > std::tie(o.deliver_at, o.seq);
+    }
+  };
 
   void delivery_loop();
   const LinkOptions& link_for(SiteId from, SiteId to) const;
+  /// Enqueue into the destination lane; returns true iff the packet became
+  /// the new global earliest (the delivery loop must re-evaluate).
+  bool push_packet(InFlight item);
+  /// Drop stale HeadRefs until the top claim matches its lane's real head.
+  void prune_heads();
+  /// Pruned earliest deadline across all lanes (max() when empty).
+  Clock::time_point earliest_deadline();
 
   time::ClockSource& clock_;
   LinkOptions defaults_;
@@ -141,7 +167,18 @@ class SimNetwork {
   std::unordered_set<std::uint64_t> partitioned_;  // packed (a,b) pairs
   std::unordered_map<std::uint64_t, LinkOptions> links_;
   std::unordered_set<SiteId> crashed_;
-  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight_;
+  // Sharded in-flight set. One priority queue per destination keeps each
+  // push O(log lane) instead of O(log total), and — since a site's traffic
+  // is mostly FIFO (same link latency, later send time) — most pushes touch
+  // only their lane: a HeadRef enters the merge heap only when a packet
+  // becomes its lane's new head. heads_ may hold stale or duplicate claims
+  // (bounded: at most one per head change); readers lazily discard any
+  // claim that no longer matches its lane's top. Global delivery order is
+  // still exactly (deliver_at, seq) — the merge of per-lane minima — so
+  // seeded replays are byte-identical to the unsharded queue's.
+  std::vector<Lane> lanes_;  // indexed by destination site
+  std::priority_queue<HeadRef, std::vector<HeadRef>, std::greater<>> heads_;
+  std::size_t in_flight_count_ = 0;
   SiteId delivering_;  // site whose callback is currently running
   std::uint64_t next_seq_ = 0;
   bool shutdown_ = false;

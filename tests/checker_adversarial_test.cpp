@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "gc/view.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 #include "verify/checker.hpp"
+#include "verify/vs_checker.hpp"
 
 namespace samoa {
 namespace {
@@ -241,6 +243,154 @@ TEST(CheckerAdversarial, FuzzedOverlapTracesAreNeverIsolated) {
         << TraceRecorder::format(events);
   }
 }
+
+// --- vs_checker at fleet scale -------------------------------------------
+//
+// Hand-built incarnation traces for a 120-site fleet going through the
+// SWIM churn shape — suspicion-driven evictions, refuted members rejoining
+// as new incarnations — probing the virtual-synchrony checker's agreement,
+// window, duplicate and view invariants at a scale where a quadratic or
+// per-pair formulation would have been written off. The consistent
+// baseline must pass; each single-site corruption must be caught.
+
+namespace vs_adversarial {
+
+using samoa::gc::View;
+using samoa::verify::DeliveryRecord;
+using samoa::verify::IncarnationTrace;
+using samoa::verify::check_virtual_synchrony;
+
+constexpr int kSites = 120;
+constexpr int kEvicted = 12;    // sites 108..119 evicted in view 2
+constexpr int kRejoined = 6;    // sites 108..113 re-added in view 3
+
+DeliveryRecord rec(std::uint64_t n, std::uint64_t view_id) {
+  return DeliveryRecord{n, view_id, n, "m" + std::to_string(n)};
+}
+
+// Message n lives in view 1 (n <= 8), view 2 (n <= 14) or view 3.
+std::uint64_t view_of(std::uint64_t n) { return n <= 8 ? 1 : n <= 14 ? 2 : 3; }
+
+std::vector<IncarnationTrace> churn_fleet_traces() {
+  std::vector<SiteId> all;
+  for (int i = 0; i < kSites; ++i) all.push_back(SiteId{static_cast<std::uint32_t>(i)});
+  std::vector<SiteId> v2(all.begin(), all.end() - kEvicted);
+  std::vector<SiteId> v3 = v2;
+  for (int i = 0; i < kRejoined; ++i) v3.push_back(all[kSites - kEvicted + i]);
+  const View view1(1, all), view2(2, v2), view3(3, v3);
+
+  std::vector<IncarnationTrace> traces;
+  // Survivors: full history across all three views.
+  for (int i = 0; i < kSites - kEvicted; ++i) {
+    IncarnationTrace t;
+    t.site = all[i];
+    t.views = {view1, view2, view3};
+    for (std::uint64_t n = 1; n <= 20; ++n) t.deliveries.push_back(rec(n, view_of(n)));
+    traces.push_back(std::move(t));
+  }
+  // Evicted sites: a crashed first incarnation holding the view-1 prefix.
+  for (int i = kSites - kEvicted; i < kSites; ++i) {
+    IncarnationTrace t;
+    t.site = all[i];
+    t.crashed = true;
+    t.views = {view1};
+    for (std::uint64_t n = 1; n <= 8; ++n) t.deliveries.push_back(rec(n, 1));
+    traces.push_back(std::move(t));
+  }
+  // Rejoined sites: a second incarnation re-entering at view 3 with a gap
+  // (messages 9..14 happened while it was out — allowed), alive at end.
+  for (int i = kSites - kEvicted; i < kSites - kEvicted + kRejoined; ++i) {
+    IncarnationTrace t;
+    t.site = all[i];
+    t.incarnation = 1;
+    t.views = {view3};
+    for (std::uint64_t n = 15; n <= 20; ++n) t.deliveries.push_back(rec(n, 3));
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+TEST(VsCheckerAdversarial, ConsistentChurnFleetAtScalePasses) {
+  const auto traces = churn_fleet_traces();
+  const auto report = check_virtual_synchrony(traces);
+  EXPECT_TRUE(report.ok()) << report.describe();
+  EXPECT_EQ(report.incarnations_checked, static_cast<std::size_t>(kSites + kRejoined));
+  EXPECT_EQ(report.reference_length, 20u);
+}
+
+TEST(VsCheckerAdversarial, OneSiteDeliveringInStaleViewIsCaught) {
+  auto traces = churn_fleet_traces();
+  // Site 57 claims message 12 was delivered in view 3; everyone else says
+  // view 2 — the same-view agreement the view-change flush exists for.
+  traces[57].deliveries[11].view_id = 3;
+  const auto report = check_virtual_synchrony(traces);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations.front().find("same-view agreement"), std::string::npos)
+      << report.describe();
+}
+
+TEST(VsCheckerAdversarial, RejoinedIncarnationReenteringEarlyIsCaught) {
+  auto traces = churn_fleet_traces();
+  // Rejoined site 108#1 starts its window at message 8 — which its crashed
+  // incarnation 108#0 already delivered: a duplicate across incarnations.
+  IncarnationTrace& rejoined = traces[kSites];  // first second-incarnation trace
+  ASSERT_EQ(rejoined.incarnation, 1u);
+  rejoined.deliveries.clear();
+  for (std::uint64_t n = 8; n <= 20; ++n) rejoined.deliveries.push_back(rec(n, view_of(n)));
+  const auto report = check_virtual_synchrony(traces);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& v : report.violations) {
+    if (v.find("duplicate delivery") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << report.describe();
+}
+
+TEST(VsCheckerAdversarial, SuspicionHoleInsideWindowIsCaught) {
+  auto traces = churn_fleet_traces();
+  // Site 31 skipped message 10 mid-window (e.g. dropped while wrongly
+  // suspected) but kept delivering afterwards: a hole, not a window.
+  auto& d = traces[31].deliveries;
+  d.erase(d.begin() + 9);
+  const auto report = check_virtual_synchrony(traces);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& v : report.violations) {
+    if (v.find("window consistency") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << report.describe();
+}
+
+TEST(VsCheckerAdversarial, ConflictingMemberSetsForOneViewIdAreCaught) {
+  auto traces = churn_fleet_traces();
+  // Site 99 installed a "view 3" missing one rejoined member — two member
+  // sets under one view id.
+  std::vector<SiteId> wrong = traces[99].views[2].members();
+  wrong.pop_back();
+  traces[99].views[2] = View(3, wrong);
+  const auto report = check_virtual_synchrony(traces);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& v : report.violations) {
+    if (v.find("view agreement") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << report.describe();
+}
+
+TEST(VsCheckerAdversarial, DivergentOrdinalAtScaleIsCaught) {
+  auto traces = churn_fleet_traces();
+  // One site slots message 12 at a different total-order position.
+  traces[3].deliveries[11].ordinal = 99;
+  const auto report = check_virtual_synchrony(traces);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& v : report.violations) {
+    if (v.find("total order") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << report.describe();
+}
+
+}  // namespace vs_adversarial
 
 }  // namespace
 }  // namespace samoa

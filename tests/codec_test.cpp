@@ -131,6 +131,44 @@ TEST(WireCodec, ViewInstallRoundTrip) {
                                 });
 }
 
+TEST(WireCodec, SwimMessagesRoundTrip) {
+  const std::vector<SwimUpdate> updates = {
+      SwimUpdate{SwimStatus::kAlive, SiteId{7}, 3},
+      SwimUpdate{SwimStatus::kSuspect, SiteId{12}, 0},
+      SwimUpdate{SwimStatus::kFaulty, SiteId{900}, 17},
+  };
+  expect_roundtrip<SwimPing>(SiteId{2}, SwimPing{41, updates},
+                             [](const SwimPing& a, const SwimPing& b) {
+                               return a.seq == b.seq && a.updates == b.updates;
+                             });
+  expect_roundtrip<SwimPing>(SiteId{2}, SwimPing{42, {}},
+                             [](const SwimPing& a, const SwimPing& b) {
+                               return a.seq == b.seq && a.updates == b.updates;
+                             });
+  expect_roundtrip<SwimAck>(SiteId{9}, SwimAck{41, SiteId{5}, updates},
+                            [](const SwimAck& a, const SwimAck& b) {
+                              return a.seq == b.seq && a.on_behalf_of == b.on_behalf_of &&
+                                     a.updates == b.updates;
+                            });
+  expect_roundtrip<SwimPingReq>(SiteId{0}, SwimPingReq{77, SiteId{3}, updates},
+                                [](const SwimPingReq& a, const SwimPingReq& b) {
+                                  return a.seq == b.seq && a.target == b.target &&
+                                         a.updates == b.updates;
+                                });
+}
+
+TEST(WireCodec, SwimBadStatusByteThrows) {
+  // Corrupt the status byte of the first piggybacked update: only 0..2
+  // decode; anything else must throw, not silently map to a state.
+  auto bytes = encode_wire(SiteId{1}, Wire{SwimPing{1, {SwimUpdate{SwimStatus::kAlive,
+                                                                   SiteId{2}, 0}}}});
+  // Layout: from varint, tag u8, seq varint, count varint, status u8, ...
+  // For these small values every varint is one byte, so status is bytes[4].
+  ASSERT_GT(bytes.size(), 4u);
+  bytes[4] = 9;
+  EXPECT_THROW(decode_wire(bytes), CodecError);
+}
+
 TEST(WireCodec, UnknownTagThrows) {
   ByteWriter w;
   w.put_varint(0);  // from

@@ -8,6 +8,7 @@
 // the sweep is reproducible per seed and spends no real time sleeping.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 
 #include "virtual_fleet.hpp"
@@ -110,6 +111,83 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RecoverySweep, ::testing::Values(1u, 4u, 17u, 42
                          [](const ::testing::TestParamInfo<std::uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// --- Fault-plan primitives (flap, one-way partitions) --------------------
+
+TEST(FaultPlan, FlapExpandsToAlternatingCutsAndHeals) {
+  using namespace std::chrono;
+  chaos::FaultPlan plan;
+  plan.flap(microseconds(1000), SiteId{1}, SiteId{2}, microseconds(500), 3);
+  const auto& actions = plan.actions();
+  ASSERT_EQ(actions.size(), 6u);  // 3 cuts + 3 heals
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const auto& a = actions[i];
+    EXPECT_EQ(a.kind, i % 2 == 0 ? chaos::FaultAction::Kind::kPartition
+                                 : chaos::FaultAction::Kind::kHeal)
+        << "action " << i;
+    EXPECT_EQ(a.at, microseconds(1000) + microseconds(500) * i) << "action " << i;
+    EXPECT_EQ(a.a, SiteId{1});
+    EXPECT_EQ(a.b, SiteId{2});
+  }
+}
+
+TEST(FaultPlan, OnewayPrimitivesRecordDirection) {
+  using namespace std::chrono;
+  chaos::FaultPlan plan;
+  plan.partition_oneway(microseconds(10), SiteId{3}, SiteId{4})
+      .heal_oneway(microseconds(20), SiteId{3}, SiteId{4});
+  const auto& actions = plan.actions();
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions[0].kind, chaos::FaultAction::Kind::kPartitionOneway);
+  EXPECT_EQ(actions[1].kind, chaos::FaultAction::Kind::kHealOneway);
+  EXPECT_EQ(actions[0].a, SiteId{3});
+  EXPECT_EQ(actions[0].b, SiteId{4});
+}
+
+TEST(ChaosEngine, AppliesFlapAndOnewayCutsAtVirtualTimes) {
+  // A flap (one cut/heal cycle) plus an asymmetric cut, with probe sends
+  // scheduled between the toggles: each send must see exactly the link
+  // state its virtual instant implies, and the engine log must record
+  // every applied action.
+  using namespace std::chrono;
+  time::VirtualClock clock;
+  net::SimNetwork net(net::LinkOptions{.base_latency = microseconds(10)}, 1, &clock);
+  net::TimerService script(&clock);
+  chaos::ChaosEngine engine(net, script);
+  std::atomic<int> got_b{0}, got_a{0};
+  const SiteId a = net.add_site([&](const net::Packet&) { got_a.fetch_add(1); });
+  const SiteId b = net.add_site([&](const net::Packet&) { got_b.fetch_add(1); });
+
+  OneShotEvent horizon;
+  {
+    time::Pin setup(clock);
+    chaos::FaultPlan plan;
+    plan.flap(microseconds(1000), a, b, microseconds(1000), 1);  // cut 1ms..2ms
+    plan.partition_oneway(microseconds(3000), a, b).heal_oneway(microseconds(5000), a, b);
+    engine.arm(plan);
+    script.schedule(microseconds(500), [&] { net.send(a, b, Message::of(0)); });   // up
+    script.schedule(microseconds(1500), [&] { net.send(a, b, Message::of(1)); });  // flapped
+    script.schedule(microseconds(2500), [&] { net.send(a, b, Message::of(2)); });  // healed
+    script.schedule(microseconds(3500), [&] {
+      net.send(a, b, Message::of(3));  // one-way cut: a->b dead...
+      net.send(b, a, Message::of(4));  // ...but b->a alive
+    });
+    script.schedule(microseconds(5500), [&] { net.send(a, b, Message::of(5)); });  // healed
+    script.schedule(microseconds(6000), [&] { horizon.set(); });
+  }
+  horizon.wait();
+  net.drain();
+
+  EXPECT_EQ(got_b.load(), 3);  // sends 0, 2, 5
+  EXPECT_EQ(got_a.load(), 1);  // send 4 through the un-cut direction
+  EXPECT_EQ(engine.stats().partitions.value(), 2u);
+  EXPECT_EQ(engine.stats().heals.value(), 2u);
+  bool oneway_logged = false;
+  for (const auto& line : engine.log()) {
+    if (line.find("(one-way)") != std::string::npos) oneway_logged = true;
+  }
+  EXPECT_TRUE(oneway_logged) << "one-way actions missing from the chaos log";
+}
 
 }  // namespace
 }  // namespace samoa::gc

@@ -189,6 +189,49 @@ TEST(ConsensusComponent, DecisionsIdenticalAcrossSites) {
   }
 }
 
+TEST(FailureDetectorComponent, ViewChangePrunesEvictedBookkeeping) {
+  // Regression: the viewChange handler used to leave last_heard_ and
+  // suspected_ entries behind for evicted peers, so the detector kept
+  // "suspecting" non-members forever (and kept their timestamps alive
+  // across a later re-join, poisoning the fresh incarnation's timeout).
+  GcOptions opts;
+  opts.heartbeat_interval = std::chrono::microseconds(1000);
+  opts.fd_timeout = std::chrono::microseconds(6000);
+  Pair p(opts, LinkOptions{.base_latency = std::chrono::microseconds(80)}, 3);
+  const SiteId victim = p.nodes[2]->id();
+  ASSERT_TRUE(p.nodes[0]->fd().tracks(victim));
+  p.nodes[2]->crash();
+  ASSERT_TRUE(wait_until([&] { return p.nodes[0]->fd().is_suspected(victim); }));
+  p.nodes[0]->request_leave(victim);
+  EXPECT_TRUE(wait_until([&] { return !p.nodes[0]->fd().tracks(victim); }))
+      << "last_heard_ entry survived the eviction";
+  EXPECT_FALSE(p.nodes[0]->fd().is_suspected(victim))
+      << "suspected_ entry survived the eviction";
+}
+
+TEST(FailureDetectorComponent, ViewChangeSeedsJoinerTimestamp) {
+  // Regression: a fresh joiner had no last_heard_ seed, so the detector
+  // skipped it until its first heartbeat arrived — a newcomer that died
+  // immediately after joining was never suspected. The viewChange handler
+  // must seed every new member at "now".
+  GcOptions opts;
+  opts.heartbeat_interval = std::chrono::microseconds(1000);
+  opts.fd_timeout = std::chrono::microseconds(8000);
+  Pair p(opts, LinkOptions{.base_latency = std::chrono::microseconds(80)}, 4);
+  auto joiner = std::make_unique<GroupNode>(p.net, opts);
+  joiner->start(View(1, {joiner->id()}));
+  p.nodes[0]->request_join(joiner->id());
+  ASSERT_TRUE(wait_until([&] { return p.nodes[0]->fd().tracks(joiner->id()); }))
+      << "joiner never seeded into last_heard_";
+  // Kill the newcomer right away: the seed (not a received heartbeat) must
+  // be what starts its timeout clock.
+  joiner->crash();
+  EXPECT_TRUE(wait_until([&] { return p.nodes[0]->fd().is_suspected(joiner->id()); }))
+      << "joiner crash after join was never detected";
+  joiner->stop_timers();
+  joiner->drain();
+}
+
 TEST(Outbox, FlushesInQueueingOrder) {
   Stack stack;
   std::vector<std::string> log;

@@ -108,6 +108,43 @@ TEST(SimNetwork, PartitionBlocksBothDirections) {
   EXPECT_EQ(got_b.load(), 1);
 }
 
+TEST(SimNetwork, OnewayPartitionBlocksSingleDirection) {
+  // Asymmetric cut: a -> b is dead while b -> a still delivers — the
+  // failure mode where a site can talk but not hear (or vice versa).
+  VirtualClock clock;
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)}, 1, &clock);
+  std::atomic<int> got_a{0}, got_b{0};
+  SiteId a = net.add_site([&](const Packet&) { got_a.fetch_add(1); });
+  SiteId b = net.add_site([&](const Packet&) { got_b.fetch_add(1); });
+  net.set_partitioned_oneway(a, b, true);
+  net.send(a, b, Message::of(1));
+  net.send(b, a, Message::of(2));
+  net.drain();
+  EXPECT_EQ(got_b.load(), 0) << "cut direction delivered";
+  EXPECT_EQ(got_a.load(), 1) << "healthy direction blocked";
+  // Healing the cut direction restores it; the other was never affected.
+  net.set_partitioned_oneway(a, b, false);
+  net.send(a, b, Message::of(3));
+  net.drain();
+  EXPECT_EQ(got_b.load(), 1);
+}
+
+TEST(SimNetwork, OnewayAndSymmetricPartitionsCompose) {
+  // A symmetric partition heals as a unit even when a one-way cut of the
+  // same pair came first: each primitive owns only its own direction(s).
+  VirtualClock clock;
+  SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)}, 1, &clock);
+  std::atomic<int> got_b{0};
+  SiteId a = net.add_site([](const Packet&) {});
+  SiteId b = net.add_site([&](const Packet&) { got_b.fetch_add(1); });
+  net.set_partitioned_oneway(a, b, true);
+  net.set_partitioned(a, b, true);
+  net.set_partitioned(a, b, false);  // heals both directions, including a->b
+  net.send(a, b, Message::of(1));
+  net.drain();
+  EXPECT_EQ(got_b.load(), 1);
+}
+
 TEST(SimNetwork, CrashedSiteDropsTraffic) {
   VirtualClock clock;
   SimNetwork net(LinkOptions{.base_latency = std::chrono::microseconds(10)}, 1, &clock);

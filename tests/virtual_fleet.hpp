@@ -14,10 +14,13 @@
 // replay identically.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "chaos/chaos_engine.hpp"
@@ -386,7 +389,7 @@ inline RecoveryOutcome run_recovery_fleet(std::uint64_t seed) {
     for (auto& t : n->vs_traces()) out.traces.push_back(std::move(t));
     out.retransmissions.push_back(n->total_retransmissions());
     out.rejoins_completed += n->rejoins_completed();
-    out.suspicion_revocations += n->fd().suspicion_revocations();
+    out.suspicion_revocations += n->detector().suspicion_revocations();
     out.view_change_drops += n->rel_comm().view_change_drops();
     for (const auto& arc : n->archives()) out.view_change_drops += arc.view_change_drops;
   }
@@ -413,6 +416,326 @@ inline RecoveryOutcome run_recovery_fleet(std::uint64_t seed) {
   }
   out.chaos_log = engine.log();
   out.net_recoveries = net.stats().recoveries.value();
+  out.net_sent = net.stats().sent.value();
+  out.net_delivered = net.stats().delivered.value();
+  out.net_dropped = net.stats().dropped.value();
+  return out;
+}
+
+// --- Churn fleet (fleet-scale failure detection) --------------------------
+//
+// The E-SWIM scenario: a parameterized fleet (tested up to hundreds of
+// sites) driven through scripted churn — flapping links (including an
+// asymmetric one-way flap), a minority island partitioned away and healed,
+// and a simultaneous crash of ~10% of the fleet — while the selected
+// failure detector (heartbeat or SWIM, behind the Detector seam) feeds
+// suspicion state and scripted evictions shrink the view. The outcome
+// carries detection-latency samples, false-positive pairs (a live site
+// suspected by a live observer), the SWIM counters, the vs_checker report
+// over every incarnation trace, and serialized trace/view lines so the
+// determinism test can byte-compare two same-seed runs.
+//
+// Site layout (indices into the fleet):
+//   [0 .. s-1]                    survivors   (s = sites - crashes)
+//   [s .. sites-1]                crash victims (simultaneous crash, then
+//                                 evicted one by one from site 0)
+//   survivors [s-p .. s-1]        partition island (cut off 8ms..20ms)
+//   low survivor indices (1, 2..) flap pairs, disjoint from the island
+// Site 0 is never crashed, islanded or flapped: it is the eviction
+// proposer and the detection-latency observer.
+
+struct ChurnConfig {
+  int sites = 50;
+  std::uint64_t seed = 1;
+  DetectorImpl detector = DetectorImpl::kSwim;
+  int crashes = -1;         // -1 => max(1, sites/10)
+  int flap_pairs = 2;       // symmetric flapping links (best effort at small n)
+  int oneway_flaps = 1;     // asymmetric (one-direction) flapping links
+  int partition_size = -1;  // -1 => max(2, sites/10), clamped to survivors-2
+  int abcasts = 6;          // total app broadcasts (half warmup, half post-evict)
+  std::chrono::microseconds probe_interval{2000};  // SWIM period
+  /// Wait between the simultaneous crash and the first scripted eviction:
+  /// the window in which detection latency is sampled.
+  std::chrono::microseconds detect_window{20000};
+  std::chrono::microseconds horizon{5'000'000};
+  double drop_probability = 0.01;
+};
+
+struct ChurnOutcome {
+  bool converged = false;     // survivors agree on the survivor view + all traffic
+  long converged_at_us = -1;
+  // Detection latency, sampled at site 0 every 500us after the crash:
+  // first crashed site suspected / every crashed site suspected (-1 = the
+  // eviction landed first, so the sample window closed).
+  long first_suspicion_us = -1;
+  long all_suspected_us = -1;
+  // Distinct (observer, target) survivor pairs ever seen suspected while
+  // both were alive — the accuracy cost of churn (flaps, island, losses).
+  std::uint64_t false_positive_pairs = 0;
+  std::uint64_t suspicions = 0;    // summed over survivors, active detector
+  std::uint64_t revocations = 0;   // suspicion revocations, ditto
+  // SWIM-only counters (zero under the heartbeat detector).
+  std::uint64_t refutations = 0;
+  std::uint64_t confirmations = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t ping_reqs_sent = 0;
+  std::uint64_t acks_relayed = 0;
+  std::uint64_t updates_piggybacked = 0;
+  std::uint64_t periods = 0;
+  verify::VsReport vs;
+  std::vector<verify::IncarnationTrace> traces;
+  std::vector<std::string> trace_lines;
+  std::vector<std::string> view_lines;
+  std::vector<std::string> chaos_log;
+  std::uint64_t net_sent = 0;
+  std::uint64_t net_delivered = 0;
+  std::uint64_t net_dropped = 0;
+};
+
+inline ChurnOutcome run_churn_fleet(const ChurnConfig& cfg) {
+  using namespace std::chrono;
+
+  const int sites = cfg.sites;
+  const int crashes = cfg.crashes >= 0 ? cfg.crashes : std::max(1, sites / 10);
+  const int s = sites - crashes;  // survivors
+  const int island =
+      std::clamp(cfg.partition_size >= 0 ? cfg.partition_size : std::max(2, sites / 10), 0,
+                 std::max(0, s - 2));
+  const int island_begin = s - island;  // survivor indices [island_begin, s)
+  // Flap pairs walk up from survivor index 1 and stop before the island.
+  int flap_cursor = 1;
+  const auto take_pair = [&](int& a, int& b) {
+    if (flap_cursor + 1 >= island_begin) return false;
+    a = flap_cursor++;
+    b = flap_cursor++;
+    return true;
+  };
+
+  time::VirtualClock clock;
+
+  GcOptions opts;
+  opts.clock = &clock;
+  opts.rng_seed = cfg.seed;
+  opts.retransmit_interval = microseconds(2000);
+  opts.retransmit_timeout = microseconds(3000);
+  opts.retransmit_backoff_cap = microseconds(12000);
+  opts.cs_retry_interval = microseconds(5000);
+  opts.cs_retry_timeout = microseconds(8000);
+  opts.detector_impl = cfg.detector;
+  opts.swim_probe_interval = cfg.probe_interval;
+  opts.swim_ack_timeout = microseconds(600);
+  // Equal-bandwidth heartbeat baseline: SWIM sends O(1) packets per period
+  // per site; all-to-all heartbeats send (n-1). Matching per-site send
+  // rates means hb_interval scales with n — which is exactly why heartbeat
+  // detection latency grows O(n) at fixed bandwidth (the E-SWIM story).
+  opts.heartbeat_interval = cfg.probe_interval * std::max(1, sites - 1) / 2;
+  opts.fd_timeout = 3 * opts.heartbeat_interval;
+
+  net::SimNetwork net(net::LinkOptions{.base_latency = microseconds(100),
+                                       .jitter = microseconds(200),
+                                       .drop_probability = cfg.drop_probability},
+                      cfg.seed, &clock);
+  net::TimerService script(&clock);
+  chaos::ChaosEngine engine(net, script);
+
+  std::vector<std::unique_ptr<GroupNode>> nodes;
+  for (int i = 0; i < sites; ++i) nodes.push_back(std::make_unique<GroupNode>(net, opts));
+  std::vector<SiteId> members;
+  for (auto& n : nodes) members.push_back(n->id());
+
+  ChurnOutcome out;
+  OneShotEvent done;
+
+  const auto now_us = [&clock] {
+    return static_cast<long>(
+        duration_cast<microseconds>(clock.now().time_since_epoch()).count());
+  };
+  // Survivor id set, for the view-agreement convergence criterion.
+  std::vector<SiteId> survivor_ids(members.begin(), members.begin() + s);
+  const auto all_converged = [&] {
+    for (int i = 0; i < s; ++i) {
+      if (nodes[i]->sink().adelivered().size() != static_cast<std::size_t>(cfg.abcasts)) {
+        return false;
+      }
+      if (nodes[i]->membership().view_snapshot().members() != survivor_ids) return false;
+    }
+    return true;
+  };
+  const auto shut_down_fleet = [&] {
+    for (auto& n : nodes) n->stop_timers();
+    script.cancel_all();
+  };
+
+  // False-positive sampling state: packed (observer, target) pairs.
+  std::unordered_set<std::uint64_t> fp_pairs;
+  const int fp_observers = std::min(s, 8);
+
+  {
+    time::Pin setup(clock);
+    for (auto& n : nodes) n->start(View(1, members));
+
+    chaos::FaultPlan plan;
+
+    // Warmup traffic, finished well before the churn starts.
+    int sent = 0;
+    for (int i = 0; i < cfg.abcasts / 2; ++i) {
+      const int who = i % s;
+      plan.call(microseconds(500 + 400 * i), "abcast a" + std::to_string(sent),
+                [&nodes, who, payload = "a" + std::to_string(sent)] { nodes[who]->abcast(payload); });
+      ++sent;
+    }
+
+    // Flapping links among low-index survivors (disjoint from the island):
+    // cut/heal three times with a 2ms period, 6ms..16ms.
+    for (int p = 0; p < cfg.flap_pairs; ++p) {
+      int a = 0, b = 0;
+      if (!take_pair(a, b)) break;
+      plan.flap(microseconds(6000), members[a], members[b], microseconds(2000), 3);
+    }
+    // Asymmetric flap: only the a -> b direction drops, so b keeps hearing
+    // a while a times out on b's acks — the classic one-way-link trap for
+    // a naive detector.
+    for (int p = 0; p < cfg.oneway_flaps; ++p) {
+      int a = 0, b = 0;
+      if (!take_pair(a, b)) break;
+      plan.partition_oneway(microseconds(7000), members[a], members[b])
+          .heal_oneway(microseconds(13000), members[a], members[b]);
+    }
+
+    // Minority island: survivors [island_begin, s) are cut off from every
+    // other site 8ms..20ms — long enough for SWIM to confirm them faulty,
+    // so the heal exercises incarnation-numbered resurrection/refutation.
+    for (int i = island_begin; i < s; ++i) {
+      for (int j = 0; j < sites; ++j) {
+        if (j >= island_begin && j < s) continue;
+        plan.partition(microseconds(8000), members[i], members[j])
+            .heal(microseconds(20000), members[i], members[j]);
+      }
+    }
+
+    // Simultaneous crash of the last `crashes` sites (one scripted action:
+    // a correlated rack failure, not a trickle).
+    plan.call(microseconds(30000), "crash " + std::to_string(crashes) + " sites",
+              [&nodes, s, sites] {
+                for (int i = s; i < sites; ++i) nodes[i]->crash();
+              });
+
+    // Scripted evictions from site 0 once the detection window closed.
+    const auto evict_at = microseconds(30000) + cfg.detect_window;
+    for (int i = s; i < sites; ++i) {
+      const auto victim = members[i];
+      plan.call(evict_at + microseconds(300) * (i - s), "evict site " + std::to_string(i),
+                [&nodes, victim] { nodes[0]->request_leave(victim); });
+    }
+
+    // Post-eviction traffic: the shrunken view still orders and delivers.
+    const auto post_at = evict_at + microseconds(300) * crashes + microseconds(3000);
+    for (int i = cfg.abcasts / 2; i < cfg.abcasts; ++i) {
+      const int who = (i * 7) % s;
+      plan.call(post_at + microseconds(400) * i, "abcast a" + std::to_string(sent),
+                [&nodes, who, payload = "a" + std::to_string(sent)] { nodes[who]->abcast(payload); });
+      ++sent;
+    }
+    engine.arm(plan);
+
+    // Detection-latency sampling at site 0 (500us resolution). Eviction
+    // removes a site from the detector's tracked set, so sampling is only
+    // meaningful inside the detect window; unset samples stay -1.
+    script.schedule_periodic(microseconds(500), [&, s, sites] {
+      if (out.all_suspected_us >= 0) return;
+      if (now_us() < 30000) return;
+      auto& det = nodes[0]->detector();
+      bool any = false, all = true;
+      for (int i = s; i < sites; ++i) {
+        if (det.is_suspected(members[i])) {
+          any = true;
+        } else {
+          all = false;
+        }
+      }
+      if (any && out.first_suspicion_us < 0) out.first_suspicion_us = now_us();
+      if (all && out.all_suspected_us < 0) out.all_suspected_us = now_us();
+    });
+    // False-positive sampling: a survivor suspected by a live observer.
+    script.schedule_periodic(microseconds(2000), [&, s] {
+      for (int i = 0; i < fp_observers; ++i) {
+        auto& det = nodes[i]->detector();
+        for (int j = 0; j < s; ++j) {
+          if (j == i) continue;
+          if (det.is_suspected(members[j])) {
+            fp_pairs.insert((static_cast<std::uint64_t>(i) << 32) |
+                            static_cast<std::uint32_t>(j));
+          }
+        }
+      }
+    });
+    // Convergence checker (scripted shutdown point, virtual-time exact).
+    script.schedule_periodic(microseconds(2000), [&] {
+      if (!all_converged()) return;
+      out.converged = true;
+      out.converged_at_us = now_us();
+      shut_down_fleet();
+      done.set();
+    });
+    script.schedule(cfg.horizon, [&] {
+      shut_down_fleet();
+      done.set();
+    });
+  }
+
+  done.wait();
+  // Quiesce to the fixpoint (see run_chaos_fleet).
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (;;) {
+    net.drain();
+    for (auto& n : nodes) n->drain();
+    const std::uint64_t total = net.stats().sent.value() + net.stats().delivered.value() +
+                                net.stats().dropped.value();
+    if (total == prev) break;
+    prev = total;
+  }
+
+  out.false_positive_pairs = fp_pairs.size();
+  for (int i = 0; i < s; ++i) {
+    out.suspicions += nodes[i]->detector().suspicions();
+    out.revocations += nodes[i]->detector().suspicion_revocations();
+    if (cfg.detector == DetectorImpl::kSwim) {
+      auto& sw = nodes[i]->swim();
+      out.refutations += sw.refutations();
+      out.confirmations += sw.confirmations();
+      out.probes_sent += sw.probes_sent();
+      out.ping_reqs_sent += sw.ping_reqs_sent();
+      out.acks_relayed += sw.acks_relayed();
+      out.updates_piggybacked += sw.updates_piggybacked();
+      out.periods += sw.periods();
+    }
+  }
+  for (auto& n : nodes) {
+    for (auto& t : n->vs_traces()) out.traces.push_back(std::move(t));
+  }
+  out.vs = verify::check_virtual_synchrony(out.traces);
+  for (const auto& t : out.traces) {
+    std::ostringstream os;
+    os << "site" << t.site.value() << "/inc" << t.incarnation
+       << (t.crashed ? "/crashed" : "/alive");
+    for (const auto& r : t.deliveries) {
+      os << " " << r.ordinal << ":" << r.id << ":" << r.view_id << ":" << r.data;
+    }
+    out.trace_lines.push_back(os.str());
+  }
+  for (auto& n : nodes) {
+    std::ostringstream os;
+    os << "site" << n->id().value() << " views:";
+    for (const auto& t : n->vs_traces()) {
+      for (const auto& v : t.views) {
+        os << " " << v.id() << "{";
+        for (const auto& m : v.members()) os << m.value() << ",";
+        os << "}";
+      }
+    }
+    out.view_lines.push_back(os.str());
+  }
+  out.chaos_log = engine.log();
   out.net_sent = net.stats().sent.value();
   out.net_delivered = net.stats().delivered.value();
   out.net_dropped = net.stats().dropped.value();
