@@ -1,0 +1,381 @@
+#include "core/executor.hpp"
+
+#include <stdexcept>
+
+#include "cc/controller.hpp"
+
+namespace samoa {
+
+namespace {
+
+// The consumer role is a thread-local affair: the thread driving a shard
+// learns on unpark whether a replacement took the role while it was
+// blocked (in which case it finishes its current task and retires).
+thread_local bool t_role_lost = false;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ExecutorGroup::ExecutorGroup(ExecutorOptions opts, CCStats* stats)
+    : opts_(opts), stats_(stats) {
+  if (opts_.shards == 0) opts_.shards = 8;
+  if (opts_.queue_capacity < 2) opts_.queue_capacity = 2;
+  opts_.queue_capacity = round_up_pow2(opts_.queue_capacity);
+  if (opts_.batch_limit == 0) opts_.batch_limit = 1;
+  shards_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->group = this;
+    s->index = i;
+    s->cells = std::make_unique<Cell[]>(opts_.queue_capacity);
+    s->mask = opts_.queue_capacity - 1;
+    for (std::size_t j = 0; j < opts_.queue_capacity; ++j) {
+      s->cells[j].seq.store(j, std::memory_order_relaxed);
+      s->cells[j].tag.store(0, std::memory_order_relaxed);
+    }
+    shards_.push_back(std::move(s));
+  }
+  diag::WaitRegistry::instance().register_executor(this);
+}
+
+ExecutorGroup::~ExecutorGroup() {
+  shutdown();
+  diag::WaitRegistry::instance().unregister_executor(this);
+}
+
+bool ExecutorGroup::try_push_ring(Shard& s, std::function<void()>& fn, std::uint64_t tag) {
+  std::size_t pos = s.tail.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& c = s.cells[pos & s.mask];
+    const std::size_t seq = c.seq.load(std::memory_order_acquire);
+    const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+    if (dif == 0) {
+      if (s.tail.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        c.tag.store(tag, std::memory_order_relaxed);
+        c.fn = std::move(fn);  // slot is claimed; the seq publish orders this
+        c.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // ring full
+    } else {
+      pos = s.tail.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ExecutorGroup::pop(Shard& s, std::function<void()>& fn, std::uint64_t& tag) {
+  // Ring first: while overflow is non-empty no producer enters the ring,
+  // so everything in the ring predates everything in overflow.
+  const std::size_t pos = s.head.load(std::memory_order_relaxed);
+  Cell& c = s.cells[pos & s.mask];
+  const std::size_t seq = c.seq.load(std::memory_order_acquire);
+  if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1) == 0) {
+    fn = std::move(c.fn);
+    tag = c.tag.load(std::memory_order_relaxed);
+    c.fn = nullptr;
+    c.tag.store(0, std::memory_order_relaxed);
+    c.seq.store(pos + opts_.queue_capacity, std::memory_order_release);
+    s.head.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+  if (s.overflow_count.load(std::memory_order_acquire) > 0) {
+    std::unique_lock lk(s.mu);
+    if (!s.overflow.empty()) {
+      fn = std::move(s.overflow.front().first);
+      tag = s.overflow.front().second;
+      s.overflow.pop_front();
+      s.overflow_count.store(s.overflow.size(), std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ExecutorGroup::has_work(const Shard& s) const {
+  const std::size_t pos = s.head.load(std::memory_order_relaxed);
+  const Cell& c = s.cells[pos & s.mask];
+  if (c.seq.load(std::memory_order_acquire) == pos + 1) return true;
+  return s.overflow_count.load(std::memory_order_acquire) > 0;
+}
+
+void ExecutorGroup::submit(std::size_t shard, std::function<void()> fn, std::uint64_t tag) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("ExecutorGroup::submit after shutdown");
+  }
+  Shard& s = *shards_[shard];
+  bool in_ring = false;
+  if (s.overflow_count.load(std::memory_order_acquire) == 0) in_ring = try_push_ring(s, fn, tag);
+  if (!in_ring) {
+    std::unique_lock lk(s.mu);
+    // Re-check under the lock: the consumer may have drained overflow to
+    // empty while we waited; and once overflow is non-empty, FIFO demands
+    // we append there rather than slip past older overflow entries.
+    if (s.overflow_count.load(std::memory_order_relaxed) == 0 && try_push_ring(s, fn, tag)) {
+      in_ring = true;
+    } else {
+      s.overflow.emplace_back(std::move(fn), tag);
+      s.overflow_count.store(s.overflow.size(), std::memory_order_release);
+      if (stats_ != nullptr) stats_->exec_overflow.add();
+    }
+  }
+  if (stats_ != nullptr) stats_->exec_enqueues.add();
+  // Dekker handshake with the consumer's sleep sequence (store kIdle;
+  // fence; re-check queue): after publishing the task, the fence + state
+  // read guarantee either we see kIdle/kNoConsumer and wake/spawn, or the
+  // consumer's re-check sees our task.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  wake(s);
+}
+
+void ExecutorGroup::wake(Shard& s) {
+  if (s.state.load(std::memory_order_seq_cst) == kConsumerRunning) return;
+  bool spawn = false;
+  {
+    std::unique_lock lk(s.mu);
+    const int st = s.state.load(std::memory_order_relaxed);
+    if (st == kConsumerRunning) return;
+    if (st == kConsumerIdle) {
+      // The consumer holds s.mu from its state store until cv.wait, so a
+      // notify sent under the lock cannot fall into the re-check gap.
+      s.cv.notify_one();
+      return;
+    }
+    // Role vacant (never started, exited, or parked mid-task with the role
+    // relinquished): claim it for the thread we are about to spawn.
+    s.state.store(kConsumerRunning, std::memory_order_relaxed);
+    spawn = true;
+  }
+  if (spawn) spawn_consumer(s);
+}
+
+void ExecutorGroup::spawn_consumer(Shard& s) {
+  std::unique_lock lk(gmu_);
+  reap_retired_locked();
+  threads_.emplace_back([this, sp = &s] { consumer_loop(sp); });
+}
+
+void ExecutorGroup::reap_retired_locked() {
+  for (const auto tid : retired_) {
+    for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+      if (it->get_id() == tid) {
+        it->join();
+        threads_.erase(it);
+        break;
+      }
+    }
+  }
+  retired_.clear();
+}
+
+std::size_t ExecutorGroup::run_batch(Shard& s) {
+  if (stats_ != nullptr) {
+    const auto t = s.tail.load(std::memory_order_relaxed);
+    const auto h = s.head.load(std::memory_order_relaxed);
+    const std::size_t depth =
+        (t > h ? t - h : 0) + s.overflow_count.load(std::memory_order_relaxed);
+    if (depth > 0) stats_->exec_queue_depth.record_ns(depth);
+  }
+  std::size_t n = 0;
+  std::function<void()> fn;
+  std::uint64_t tag = 0;
+  while (n < opts_.batch_limit) {
+    if (!pop(s, fn, tag)) break;
+    s.running_tag.store(tag, std::memory_order_relaxed);
+    fn();  // exceptions are the task's responsibility, as in the pool
+    fn = nullptr;
+    s.running_tag.store(0, std::memory_order_relaxed);
+    ++n;
+    if (stats_ != nullptr) stats_->exec_dispatched.add();
+    // The task's instrumented wait handed the role to a replacement; the
+    // rest of the queue is theirs.
+    if (t_role_lost) break;
+  }
+  if (n > 0 && stats_ != nullptr) {
+    stats_->exec_batches.add();
+    stats_->exec_batch_size.record_ns(n);
+  }
+  return n;
+}
+
+void ExecutorGroup::consumer_loop(Shard* s) {
+  t_role_lost = false;
+  diag::set_current_park_target(s);
+  for (;;) {
+    const std::size_t ran = run_batch(*s);
+    if (t_role_lost) break;
+    if (ran == opts_.batch_limit) continue;  // bounded batch; queue may have more
+    // Queue observed empty: try to go idle. The state store + fence pair
+    // with submit()'s publish + fence (Dekker): either a concurrent
+    // producer sees kConsumerIdle and notifies under the mutex we hold
+    // through cv.wait, or our re-check sees its task.
+    std::unique_lock lk(s->mu);
+    s->state.store(kConsumerIdle, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (has_work(*s)) {
+      s->state.store(kConsumerRunning, std::memory_order_relaxed);
+      continue;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      s->state.store(kNoConsumer, std::memory_order_relaxed);
+      break;
+    }
+    {
+      // Typed idle record so watchdog dumps name parked shards without
+      // treating them as stalls (WaitKind::kExecutorIdle is exempt from
+      // the stuck-wait and blocked-quiescence checks). Registered
+      // directly — not via ScopedWait — because an idle park must not
+      // trigger our own WorkerParkTarget handoff.
+      diag::WaitRecord rec;
+      rec.kind = diag::WaitKind::kExecutorIdle;
+      rec.subject = s;
+      rec.subject_name = "executor-shard-" + std::to_string(s->index);
+      rec.thread = std::this_thread::get_id();
+      rec.since = std::chrono::steady_clock::now();
+      auto& reg = diag::WaitRegistry::instance();
+      const std::uint64_t wid = reg.add_wait(std::move(rec));
+      s->cv.wait(lk, [&] {
+        return has_work(*s) || shutdown_.load(std::memory_order_relaxed);
+      });
+      reg.remove_wait(wid);
+    }
+    // Ownership re-check: if another thread holds the role (it went
+    // kConsumerRunning while we slept), this waiter is surplus — retiring
+    // is the only safe move; draining alongside the owner would put two
+    // consumers on one SPSC ring.
+    if (s->state.load(std::memory_order_relaxed) == kConsumerRunning) break;
+    if (stats_ != nullptr) stats_->exec_wakeups.add();
+    s->state.store(kConsumerRunning, std::memory_order_relaxed);
+    if (!has_work(*s) && shutdown_.load(std::memory_order_acquire)) {
+      s->state.store(kNoConsumer, std::memory_order_relaxed);
+      break;
+    }
+  }
+  diag::set_current_park_target(nullptr);
+  t_role_lost = false;
+  std::unique_lock lk(gmu_);
+  retired_.push_back(std::this_thread::get_id());
+}
+
+void ExecutorGroup::Shard::note_worker_parked() {
+  // A consumer that already lost the role is a zombie: its task is still
+  // finishing on this thread, but the shard belongs to a replacement (or
+  // an idle waiter). Its later parks/unparks must not touch shard state —
+  // stomping kNoConsumer over the owner's kIdle/kConsumerRunning is how
+  // two concurrent consumers (and a corrupted SPSC ring) happen.
+  if (t_role_lost) return;
+  // This consumer is about to block inside a task. Hand the role back so
+  // the queue behind it stays live: mark the role vacant, and if work is
+  // already pending, spawn the replacement now (otherwise the next
+  // producer's wake() will).
+  {
+    std::unique_lock lk(mu);
+    state.store(kNoConsumer, std::memory_order_seq_cst);
+  }
+  if (group->stats_ != nullptr) group->stats_->exec_handoffs.add();
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (group->has_work(*this) && !group->shutdown_.load(std::memory_order_acquire)) {
+    group->wake(*this);
+  }
+}
+
+void ExecutorGroup::Shard::note_worker_unparked() {
+  if (t_role_lost) return;  // zombie: see note_worker_parked
+  std::unique_lock lk(mu);
+  if (state.load(std::memory_order_relaxed) == kNoConsumer) {
+    // Nobody took the role while we were parked: reclaim it and keep
+    // draining after the current task returns.
+    state.store(kConsumerRunning, std::memory_order_relaxed);
+  } else {
+    // A replacement (or a fresh wake) owns the shard now; finish the
+    // current task and retire this thread.
+    t_role_lost = true;
+  }
+}
+
+void ExecutorGroup::shutdown() {
+  shutdown_.store(true, std::memory_order_seq_cst);
+  for (auto& s : shards_) {
+    std::unique_lock lk(s->mu);
+    s->cv.notify_all();
+  }
+  // Consumers drain their backlogs before exiting; parked tasks resuming
+  // may still spawn replacements while we join, so loop until the thread
+  // list stays empty.
+  for (;;) {
+    std::vector<std::thread> take;
+    {
+      std::unique_lock lk(gmu_);
+      take.swap(threads_);
+      retired_.clear();
+    }
+    if (take.empty()) break;
+    for (auto& t : take) t.join();
+  }
+  // A shard whose consumer exited before noticing late overflow work (the
+  // submit/shutdown race window) still owes execution: run any leftovers
+  // inline, preserving order. Normally both loops find nothing.
+  for (auto& s : shards_) {
+    std::function<void()> fn;
+    std::uint64_t tag = 0;
+    while (pop(*s, fn, tag)) {
+      fn();
+      if (stats_ != nullptr) stats_->exec_dispatched.add();
+    }
+  }
+}
+
+std::size_t ExecutorGroup::queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    const auto t = s->tail.load(std::memory_order_relaxed);
+    const auto h = s->head.load(std::memory_order_relaxed);
+    total += (t > h ? t - h : 0) + s->overflow_count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+diag::ExecutorGroupState ExecutorGroup::diag_state() const {
+  diag::ExecutorGroupState g;
+  g.group = this;
+  if (stats_ != nullptr) {
+    g.dispatched = stats_->exec_dispatched.value();
+    g.handoffs = stats_->exec_handoffs.value();
+  }
+  g.shards.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    diag::ExecutorShardState ss;
+    ss.index = s.index;
+    ss.consumer = s.state.load(std::memory_order_relaxed);
+    const auto t = s.tail.load(std::memory_order_relaxed);
+    const auto h = s.head.load(std::memory_order_relaxed);
+    ss.queued = (t > h ? t - h : 0);
+    ss.running_comp = s.running_tag.load(std::memory_order_relaxed);
+    // Best-effort ring tags: only cells whose seq marks them published.
+    constexpr std::size_t kMaxTags = 32;
+    for (std::size_t pos = h; pos < t && ss.queued_comps.size() < kMaxTags; ++pos) {
+      const Cell& c = s.cells[pos & s.mask];
+      if (c.seq.load(std::memory_order_acquire) == pos + 1) {
+        ss.queued_comps.push_back(c.tag.load(std::memory_order_relaxed));
+      }
+    }
+    {
+      std::unique_lock lk(s.mu);
+      ss.queued += s.overflow.size();
+      for (const auto& [fn, tag] : s.overflow) {
+        if (ss.queued_comps.size() >= kMaxTags) break;
+        ss.queued_comps.push_back(tag);
+      }
+    }
+    g.shards.push_back(std::move(ss));
+  }
+  return g;
+}
+
+}  // namespace samoa

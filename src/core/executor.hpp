@@ -1,0 +1,179 @@
+// Per-microprotocol executors — the dispatch substrate behind
+// RuntimeOptions::dispatch_impl == DispatchImpl::kExecutor.
+//
+// Babel-style event loops: microprotocols are hashed onto a small set of
+// shards, and each shard owns a *single-consumer* event loop fed by a
+// bounded lock-free MPSC ring. Producers (spawners, async triggers) pay
+// one CAS + one conditional wakeup to enqueue; the consumer drains in
+// run-to-completion batches, so a burst of tasks targeting one
+// microprotocol executes back-to-back on one thread with no cross-thread
+// handoff between them — the elastic pool's per-task submit/steal cycle
+// disappears from the hot path. Trigger fan-out batches further:
+// Context::async_trigger_all enqueues one node per *target shard*, not one
+// per handler (see Context::dispatch_batched).
+//
+// Single-consumer loops and SAMOA's blocking gates would deadlock naively:
+// a task parked in a version gate (Rule 2) would wedge every task queued
+// behind it on the same shard. The executor reuses the diag layer's
+// park instrumentation to stay live: every blocking point in the runtime
+// registers a diag::ScopedWait, and a shard's consumer implements
+// diag::WorkerParkTarget — on park it relinquishes the consumer role (a
+// replacement thread is spawned if work is pending), on unpark it either
+// reclaims the role or, if a replacement took over, finishes its task and
+// retires. This preserves the elastic pool's deadlock-freedom argument: a
+// runnable task never waits on a parked thread. Uninstrumented blocking in
+// handler bodies (a raw condition_variable wait) is the one thing that can
+// wedge a shard; util::OneShotEvent / util::WaitGroup register their parks
+// precisely so test and application handlers stay covered.
+//
+// Placement: handler dispatches hash the owning microprotocol's id, so a
+// microprotocol's async work serializes on its shard. Root tasks place
+// round-robin instead — independent computations must be able to overlap
+// (VCArw reader groups, TSO wait-die) and the controller's version gates
+// already order the conflicting ones; a gate park hands the consumer role
+// off, so cross-shard ordering costs a handoff, not liveness.
+//
+// FIFO: per shard, tasks run in enqueue order. When the ring is full,
+// producers fall back to a mutex-guarded overflow
+// deque; once overflow is non-empty every producer appends there (ring
+// entries all predate overflow entries), and the consumer drains
+// ring-then-overflow, so the fallback preserves per-producer FIFO instead
+// of letting late ring pushes overtake earlier overflow entries.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "diag/wait_registry.hpp"
+
+namespace samoa {
+
+struct CCStats;
+
+/// Tunables of the executor dispatch layer (RuntimeOptions::executor).
+struct ExecutorOptions {
+  /// Number of single-consumer shards microprotocols are hashed onto.
+  /// 0 = auto: 8 — NOT scaled down to hardware_concurrency, because shard
+  /// count caps how many computations can overlap at all (reader groups,
+  /// wait-die schedules), and on small hosts the OS timeslices consumers
+  /// just like it did pool workers.
+  std::size_t shards = 0;
+  /// Lock-free ring slots per shard (rounded up to a power of two);
+  /// producers beyond this fall back to the mutex-guarded overflow deque.
+  std::size_t queue_capacity = 1024;
+  /// Max tasks a consumer runs per run-to-completion drain batch before
+  /// re-checking shutdown and recording batch stats.
+  std::size_t batch_limit = 64;
+};
+
+class ExecutorGroup final : public diag::ExecutorSource {
+ public:
+  /// Consumer-role states, also reported via diag::ExecutorShardState.
+  enum ConsumerState : int { kNoConsumer = 0, kConsumerIdle = 1, kConsumerRunning = 2 };
+
+  /// `stats` (may be null) receives the exec_* counters; it must outlive
+  /// the group. Consumer threads are spawned lazily on first submit.
+  explicit ExecutorGroup(ExecutorOptions opts, CCStats* stats = nullptr);
+  ~ExecutorGroup() override;
+
+  ExecutorGroup(const ExecutorGroup&) = delete;
+  ExecutorGroup& operator=(const ExecutorGroup&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Shard owning routing key `key` (a MicroprotocolId value, or a
+  /// computation id for member-less specs).
+  std::size_t shard_of(std::uint64_t key) const {
+    // Fibonacci multiplicative hash: microprotocol ids are small and
+    // sequential, a plain modulo would pile adjacent stacks' mps onto the
+    // same low shards.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 33) % shards_.size();
+  }
+
+  /// Round-robin placement for root tasks (see class comment): spreads
+  /// independent computations across shards so they can overlap.
+  std::size_t next_shard() { return rr_.fetch_add(1, std::memory_order_relaxed) % shards_.size(); }
+
+  /// Enqueue `fn` on `shard`. `tag` is the computation id (diagnostics).
+  /// Lock-free while the ring has space; wakes or spawns the consumer.
+  /// Throws std::runtime_error after shutdown().
+  void submit(std::size_t shard, std::function<void()> fn, std::uint64_t tag);
+
+  /// Stop accepting tasks, run every queued task to completion, join all
+  /// consumer threads. Idempotent; also called by the destructor.
+  void shutdown();
+
+  /// Total tasks currently queued across shards (approximate).
+  std::size_t queue_depth() const;
+
+  // diag::ExecutorSource
+  diag::ExecutorGroupState diag_state() const override;
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    std::atomic<std::uint64_t> tag;
+    std::function<void()> fn;
+  };
+
+  struct Shard final : diag::WorkerParkTarget {
+    ExecutorGroup* group = nullptr;
+    std::size_t index = 0;
+
+    // Bounded MPSC ring (Vyukov MPMC cells, one consumer). `head` is only
+    // written under the consumer role; it is atomic because the role moves
+    // between threads on park/handoff (the mutex + thread spawn provide
+    // the happens-before, relaxed accesses keep it race-free).
+    std::unique_ptr<Cell[]> cells;
+    std::size_t mask = 0;
+    alignas(64) std::atomic<std::size_t> tail{0};
+    alignas(64) std::atomic<std::size_t> head{0};
+
+    /// Non-zero while the overflow deque is non-empty: the FIFO latch that
+    /// keeps producers out of the ring until the consumer drains overflow.
+    alignas(64) std::atomic<std::size_t> overflow_count{0};
+    std::atomic<int> state{kNoConsumer};
+    std::atomic<std::uint64_t> running_tag{0};
+
+    /// Guards overflow + consumer state transitions + cv. Leaf lock: never
+    /// calls into gates or the registry while held (except cv waits).
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<std::function<void()>, std::uint64_t>> overflow;
+
+    // diag::WorkerParkTarget — the consumer blocked / resumed inside a
+    // task's instrumented wait (see class comment: role handoff).
+    void note_worker_parked() override;
+    void note_worker_unparked() override;
+  };
+
+  bool try_push_ring(Shard& s, std::function<void()>& fn, std::uint64_t tag);
+  bool pop(Shard& s, std::function<void()>& fn, std::uint64_t& tag);
+  bool has_work(const Shard& s) const;
+  /// Ensure `s` has a consumer: notify an idle one or spawn a new thread
+  /// if the role is vacant. Called after every enqueue and on role parks.
+  void wake(Shard& s);
+  void spawn_consumer(Shard& s);
+  void consumer_loop(Shard* s);
+  std::size_t run_batch(Shard& s);
+  void reap_retired_locked();
+
+  ExecutorOptions opts_;
+  CCStats* stats_ = nullptr;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::size_t> rr_{0};
+
+  mutable std::mutex gmu_;  // guards threads_/retired_
+  std::vector<std::thread> threads_;
+  std::vector<std::thread::id> retired_;
+};
+
+}  // namespace samoa

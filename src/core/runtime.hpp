@@ -19,6 +19,7 @@
 #include "cc/controller.hpp"
 #include "core/computation.hpp"
 #include "core/context.hpp"
+#include "core/executor.hpp"
 #include "core/stack.hpp"
 #include "core/step_hook.hpp"
 #include "core/trace.hpp"
@@ -27,6 +28,21 @@
 #include "util/thread_pool.hpp"
 
 namespace samoa {
+
+/// Which dispatch substrate runs computation tasks — the same seam pattern
+/// as GcOptions::detector_impl: both implementations drive identical
+/// controller/trace semantics and every test can run against either.
+enum class DispatchImpl {
+  /// Resolve from the SAMOA_DISPATCH env var ("pool" or "executor");
+  /// defaults to kExecutor. This is how CI runs tier-1 against both.
+  kAuto,
+  /// Shared elastic pool: one cross-thread handoff per task (pre-PR-8
+  /// behaviour, and the fallback under schedule exploration).
+  kElasticPool,
+  /// Per-microprotocol sharded single-consumer event loops with batched
+  /// drains (core/executor.hpp).
+  kExecutor,
+};
 
 struct RuntimeOptions {
   CCPolicy policy = CCPolicy::kVCABasic;
@@ -42,6 +58,16 @@ struct RuntimeOptions {
   /// default — costs one pointer test per scheduling point; non-null
   /// serializes all computation tasks behind the hook's token scheduler.
   StepHook* step_hook = nullptr;
+  /// Dispatch substrate. Note: a non-null step_hook always forces the
+  /// elastic pool — the explorer's token barrier requires every submitted
+  /// task to be independently schedulable, which a single-consumer shard
+  /// cannot provide (a queued task would "arrive" only after its
+  /// predecessor finishes, deadlocking the barrier). Executor schedules
+  /// are a subset of the explored per-task interleavings, so exploration
+  /// over the pool path covers them; see DESIGN.md "Dispatch".
+  DispatchImpl dispatch_impl = DispatchImpl::kAuto;
+  /// Executor shard/queue tunables (used when the executor is active).
+  ExecutorOptions executor{};
 };
 
 class Runtime {
@@ -79,6 +105,12 @@ class Runtime {
   ConcurrencyController& controller() { return *controller_; }
   CCPolicy policy() const { return opts_.policy; }
 
+  /// The dispatch implementation actually in effect (kAuto and the
+  /// step-hook fallback resolved; never kAuto).
+  DispatchImpl dispatch_impl() const { return dispatch_; }
+  /// Null when dispatching through the elastic pool.
+  ExecutorGroup* executor_group() { return executors_.get(); }
+
   /// Null when tracing is off.
   TraceRecorder* trace() { return trace_ ? trace_.get() : nullptr; }
 
@@ -107,11 +139,19 @@ class Runtime {
   std::function<void()> root_task(std::shared_ptr<Computation> comp,
                                   std::function<void(Context&)> root, std::uint64_t ticket);
 
+  /// Route a root task to its dispatch substrate: round-robin across
+  /// executor shards (independent computations must be able to overlap;
+  /// the version gates order the conflicting ones — see the
+  /// core/executor.hpp placement comment), or the elastic pool.
+  void submit_root(std::uint64_t comp_id, std::function<void()> fn);
+
   Stack& stack_;
   RuntimeOptions opts_;
+  DispatchImpl dispatch_;
   std::unique_ptr<ConcurrencyController> controller_;
   std::unique_ptr<TraceRecorder> trace_;
   ElasticThreadPool pool_;
+  std::unique_ptr<ExecutorGroup> executors_;
 
   IdAllocator<ComputationTag> comp_ids_;
   Stats stats_;

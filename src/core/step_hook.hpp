@@ -39,6 +39,15 @@
 //                          token for good.
 //
 // A null hook (the default) costs one pointer test per call site.
+//
+// Dispatch interaction: a non-null hook forces DispatchImpl::kElasticPool
+// (see RuntimeOptions::dispatch_impl). The controller's token barrier
+// treats every submitted task as independently startable; a
+// single-consumer executor shard serializes queued tasks, so a task
+// "arrives" at the barrier only after its shard predecessor finishes —
+// a structural deadlock. Since executor schedules are a strict subset of
+// the per-task interleavings the explorer enumerates over the pool,
+// exploring on the pool path loses no coverage.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,17 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "diag/wait_registry.hpp"
+
+// Every actual park below registers a diag::ScopedWait (kExternal). Besides
+// showing up in blocked-state dumps, this is a liveness requirement under
+// executor dispatch: a handler body blocking on one of these primitives
+// parks a single-consumer shard, and only an instrumented wait triggers the
+// consumer-role handoff that keeps the tasks queued behind it runnable
+// (see core/executor.hpp). Nested registration is handled by ScopedWait
+// itself — an already-registered wait (e.g. Computation::wait_done) that
+// parks through OneShotEvent stays a single record.
+
 namespace samoa {
 
 void WaitGroup::add(std::size_t n) {
@@ -18,11 +29,15 @@ void WaitGroup::done() {
 
 void WaitGroup::wait() {
   std::unique_lock lock(mu_);
+  if (count_ == 0) return;
+  diag::ScopedWait wait(diag::WaitKind::kExternal, this, "wait-group", 0, 0, count_);
   cv_.wait(lock, [this] { return count_ == 0; });
 }
 
 bool WaitGroup::wait_for(std::chrono::milliseconds timeout) {
   std::unique_lock lock(mu_);
+  if (count_ == 0) return true;
+  diag::ScopedWait wait(diag::WaitKind::kExternal, this, "wait-group", 0, 0, count_);
   return cv_.wait_for(lock, timeout, [this] { return count_ == 0; });
 }
 
@@ -44,11 +59,15 @@ bool OneShotEvent::is_set() const {
 
 void OneShotEvent::wait() {
   std::unique_lock lock(mu_);
+  if (set_) return;
+  diag::ScopedWait wait(diag::WaitKind::kExternal, this, "one-shot-event", 0, 0, 0);
   cv_.wait(lock, [this] { return set_; });
 }
 
 bool OneShotEvent::wait_for(std::chrono::milliseconds timeout) {
   std::unique_lock lock(mu_);
+  if (set_) return true;
+  diag::ScopedWait wait(diag::WaitKind::kExternal, this, "one-shot-event", 0, 0, 0);
   return cv_.wait_for(lock, timeout, [this] { return set_; });
 }
 

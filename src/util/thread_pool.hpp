@@ -27,6 +27,15 @@
 // blocking instead of a silent cap-induced wedge.
 //
 // Idle workers retire after a timeout down to a configurable floor.
+//
+// Role in dispatch (PR 8): computation tasks normally run on the
+// per-microprotocol executor shards (core/executor.hpp); this pool is the
+// runtime-selectable fallback (DispatchImpl::kElasticPool) and the only
+// substrate under schedule exploration. The parked-worker contract above
+// (diag::ScopedWait -> note_worker_parked) is shared with the executor's
+// consumer-role handoff — both implement "a runnable task must never wait
+// on a parked thread", this pool by growing, the executor by re-spawning
+// the shard consumer.
 #pragma once
 
 #include <condition_variable>

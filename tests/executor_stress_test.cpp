@@ -1,0 +1,210 @@
+// Executor dispatch under adversarial load (PR 8): several spawner
+// threads hammer one runtime with a seeded mix of single-mp, shared-mp
+// and multi-mp computations, sync and async triggers, fan-outs, and
+// handlers that park mid-task. Run under both dispatch substrates so the
+// executor path and the elastic-pool fallback face the same workload; a
+// fail-fast deadlock watchdog turns any shard wedge (the zombie-consumer
+// class of bug) into an immediate abort with a shard-state dump instead
+// of a 300-second ctest timeout. CI runs this under TSan as well — the
+// Vyukov ring's seq protocol and the park/handoff protocol are exactly
+// the code TSan is for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cc/controller.hpp"
+#include "diag/watchdog.hpp"
+#include "tests/test_support.hpp"
+#include "util/rng.hpp"
+
+namespace samoa {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::BlockingMp;
+using testing::ProbeMp;
+
+#if defined(__SANITIZE_THREAD__)
+#define SAMOA_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SAMOA_UNDER_TSAN 1
+#endif
+#endif
+#ifndef SAMOA_UNDER_TSAN
+#define SAMOA_UNDER_TSAN 0
+#endif
+
+constexpr int kSpawnsPerThread = SAMOA_UNDER_TSAN ? 40 : 120;
+constexpr int kSpawnerThreads = 4;
+
+class ExecutorStress : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    diag::WatchdogOptions opts;
+    opts.budget = 60s;
+    opts.name = "executor_stress";
+    opts.abort_on_stall = true;
+    if (const char* dir = std::getenv("SAMOA_WATCHDOG_DIR")) opts.dump_dir = dir;
+    dog_ = std::make_unique<diag::DeadlockWatchdog>(std::move(opts));
+  }
+  void TearDown() override { dog_.reset(); }
+
+  std::unique_ptr<diag::DeadlockWatchdog> dog_;
+};
+
+struct Workload {
+  Stack stack;
+  std::vector<ProbeMp*> own;      // one per spawner thread
+  ProbeMp* shared = nullptr;      // contended by every thread
+  std::vector<EventType> own_ev;
+  EventType shared_ev{"Shared"};
+  EventType fan_ev{"Fan"};        // bound to three of the own mps
+
+  Workload() {
+    for (int i = 0; i < kSpawnerThreads; ++i) {
+      auto& mp = stack.emplace<ProbeMp>("own" + std::to_string(i), std::chrono::microseconds(5));
+      own.push_back(&mp);
+      own_ev.emplace_back("Own" + std::to_string(i));
+      stack.bind(own_ev.back(), *mp.handler);
+    }
+    shared = &stack.emplace<ProbeMp>("shared", std::chrono::microseconds(5));
+    stack.bind(shared_ev, *shared->handler);
+    for (int i = 0; i < 3; ++i) stack.bind(fan_ev, *own[static_cast<std::size_t>(i)]->handler);
+  }
+};
+
+void run_mixed_cell(DispatchImpl impl, std::uint64_t seed) {
+  Workload w;
+  RuntimeOptions opts;
+  opts.policy = CCPolicy::kVCABasic;
+  opts.dispatch_impl = impl;
+  opts.record_trace = true;
+  Runtime rt(w.stack, opts);
+
+  std::atomic<int> spawned{0};
+  std::vector<std::thread> spawners;
+  for (int t = 0; t < kSpawnerThreads; ++t) {
+    spawners.emplace_back([&, t] {
+      Rng rng(seed * 1000003u + static_cast<std::uint64_t>(t));
+      std::vector<ComputationHandle> inflight;
+      for (int i = 0; i < kSpawnsPerThread; ++i) {
+        const std::uint64_t shape = rng.next_below(4);
+        ComputationHandle h;
+        if (shape == 0) {
+          // Single private mp, sync + async trigger chain.
+          h = rt.spawn_isolated(Isolation::basic({w.own[static_cast<std::size_t>(t)]}),
+                                [&, t](Context& ctx) {
+                                  ctx.trigger(w.own_ev[static_cast<std::size_t>(t)]);
+                                  ctx.async_trigger(w.own_ev[static_cast<std::size_t>(t)]);
+                                });
+        } else if (shape == 1) {
+          // Contended shared mp.
+          h = rt.spawn_isolated(Isolation::basic({w.shared}),
+                                [&](Context& ctx) { ctx.trigger(w.shared_ev); });
+        } else if (shape == 2) {
+          // Multi-mp: private + shared, exercises the slow admission path.
+          h = rt.spawn_isolated(
+              Isolation::basic({w.own[static_cast<std::size_t>(t)], w.shared}),
+              [&, t](Context& ctx) {
+                ctx.trigger(w.own_ev[static_cast<std::size_t>(t)]);
+                ctx.async_trigger(w.shared_ev);
+              });
+        } else {
+          // Batched fan-out across three mps' shards.
+          h = rt.spawn_isolated(Isolation::basic({w.own[0], w.own[1], w.own[2]}),
+                                [&](Context& ctx) { ctx.async_trigger_all(w.fan_ev); });
+        }
+        spawned.fetch_add(1);
+        inflight.push_back(std::move(h));
+        if (inflight.size() >= 16) {
+          for (auto& handle : inflight) handle.wait();
+          inflight.clear();
+        }
+      }
+      for (auto& handle : inflight) handle.wait();
+    });
+  }
+  for (auto& t : spawners) t.join();
+  rt.drain();
+
+  EXPECT_EQ(spawned.load(), kSpawnerThreads * kSpawnsPerThread);
+  // Isolation must hold regardless of substrate: no mp ever runs two
+  // handlers concurrently.
+  for (ProbeMp* mp : w.own) EXPECT_LE(mp->max_in_flight.load(), 1) << mp->name();
+  EXPECT_LE(w.shared->max_in_flight.load(), 1);
+  testing::expect_isolated(rt);
+  if (impl == DispatchImpl::kExecutor) {
+    ASSERT_NE(rt.executor_group(), nullptr);
+    EXPECT_GT(rt.controller().stats().exec_dispatched.value(), 0u);
+  } else {
+    EXPECT_EQ(rt.executor_group(), nullptr);
+  }
+}
+
+TEST_F(ExecutorStress, MixedWorkloadExecutorDispatch) {
+  const std::uint64_t seed = testing::test_seed(2024);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  run_mixed_cell(DispatchImpl::kExecutor, seed);
+  dog_->kick();
+}
+
+TEST_F(ExecutorStress, MixedWorkloadPoolDispatch) {
+  const std::uint64_t seed = testing::test_seed(2024);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  run_mixed_cell(DispatchImpl::kElasticPool, seed);
+  dog_->kick();
+}
+
+TEST_F(ExecutorStress, BlockingChurnForcesHandoffs) {
+  // Repeatedly park a consumer inside a handler while other computations
+  // keep flowing: the consumer role must hand off and recover every round.
+  const std::uint64_t seed = testing::test_seed(7);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  constexpr int kRounds = SAMOA_UNDER_TSAN ? 4 : 10;
+  Stack stack;
+  auto& probe = stack.emplace<ProbeMp>("p", std::chrono::microseconds(2));
+  EventType probe_ev("P");
+  stack.bind(probe_ev, *probe.handler);
+  std::vector<BlockingMp*> blockers;
+  std::vector<EventType> block_evs;
+  for (int r = 0; r < kRounds; ++r) {
+    auto& b = stack.emplace<BlockingMp>("b" + std::to_string(r));
+    blockers.push_back(&b);
+    block_evs.emplace_back("B" + std::to_string(r));
+    stack.bind(block_evs.back(), *b.handler);
+  }
+  RuntimeOptions opts;
+  opts.policy = CCPolicy::kVCABasic;
+  opts.dispatch_impl = DispatchImpl::kExecutor;
+  opts.record_trace = true;
+  Runtime rt(stack, opts);
+  for (int r = 0; r < kRounds; ++r) {
+    auto blocked = rt.spawn_isolated(
+        Isolation::basic({blockers[static_cast<std::size_t>(r)]}),
+        [&, r](Context& ctx) { ctx.trigger(block_evs[static_cast<std::size_t>(r)]); });
+    blockers[static_cast<std::size_t>(r)]->started.wait();
+    std::vector<ComputationHandle> hs;
+    for (int i = 0; i < 8; ++i) {
+      hs.push_back(rt.spawn_isolated(Isolation::basic({&probe}),
+                                     [&](Context& ctx) { ctx.trigger(probe_ev); }));
+    }
+    for (auto& h : hs) h.wait();
+    blockers[static_cast<std::size_t>(r)]->release.set();
+    blocked.wait();
+    dog_->kick();
+  }
+  rt.drain();
+  EXPECT_EQ(probe.calls.load(), kRounds * 8);
+  EXPECT_GE(rt.controller().stats().exec_handoffs.value(), static_cast<std::uint64_t>(kRounds));
+  testing::expect_isolated(rt);
+}
+
+}  // namespace
+}  // namespace samoa

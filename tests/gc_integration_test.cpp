@@ -264,6 +264,9 @@ std::int64_t discarded_in_race(CCPolicy policy, bool manual_locks,
   opts.policy = policy;
   opts.manual_locks = manual_locks;
   opts.view_change_delay = window;
+  // The unsync baseline's lost-message race needs computations to overlap
+  // at the OS level; the executor's per-mp shards serialize them away.
+  if (policy == CCPolicy::kUnsync) opts.dispatch_impl = DispatchImpl::kElasticPool;
   Cluster c(4, opts);
   c.start(3);
 

@@ -157,8 +157,12 @@ TEST(Histogram, MeanConsistentUnderConcurrentRecording) {
       while (!stop.load(std::memory_order_relaxed)) h.record_ns(kValue);
     });
   }
+  // On a single-core host the verification loop can finish before any
+  // writer thread is scheduled at all; wait for the first record so the
+  // loop really runs against concurrent writers (and the final count
+  // check cannot race to zero).
+  while (h.count() == 0) std::this_thread::yield();
   for (int i = 0; i < 20000; ++i) {
-    if (h.count() == 0) continue;  // no records yet: mean is defined as 0
     ASSERT_DOUBLE_EQ(h.mean_ns(), static_cast<double>(kValue));
   }
   stop.store(true);
