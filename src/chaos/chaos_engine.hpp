@@ -1,10 +1,18 @@
-// ChaosEngine — arms a FaultPlan on a TimerService.
+// ChaosEngine — arms a FaultPlan on a TimerService (or on the network's
+// control-event queue).
 //
 // Every action of the plan becomes one timer callback at its virtual-time
 // offset; under a VirtualClock each fires inside its own serialized
 // dispatch turn, so fault injection interleaves deterministically with
 // protocol events. The engine keeps a timestamped log of everything it
 // applied (for chaos-test summaries) plus per-kind counters.
+//
+// Route::kNetwork instead arms each action as a SimNetwork control event
+// (schedule_control). Functionally identical timing under the default
+// delivery order, but when a DeliveryHook is installed every action's
+// firing *relative to packet deliveries at the same virtual instant*
+// becomes an explorable 'n' decision — fault timing joins delivery order
+// in the explored schedule space.
 #pragma once
 
 #include <mutex>
@@ -19,8 +27,11 @@ namespace samoa::chaos {
 
 class ChaosEngine {
  public:
+  /// Where arm() schedules the plan's actions.
+  enum class Route { kTimers, kNetwork };
+
   /// `timers` must outlive the engine and drive the same clock as `net`.
-  ChaosEngine(net::SimNetwork& net, net::TimerService& timers);
+  ChaosEngine(net::SimNetwork& net, net::TimerService& timers, Route route = Route::kTimers);
 
   /// Schedule every action of the plan (relative to now). Can be called
   /// several times to layer plans.
@@ -45,6 +56,7 @@ class ChaosEngine {
 
   net::SimNetwork& net_;
   net::TimerService& timers_;
+  Route route_;
   Stats stats_;
   bool burst_active_ = false;        // guarded by mu_
   net::LinkOptions saved_defaults_;  // defaults to restore after a burst

@@ -196,6 +196,30 @@ void dump_if_requested(const CellResult& res) {
 
 }  // namespace
 
+void DecisionCounts::add(const ScheduleTrace& trace) {
+  for (const Decision& d : trace.decisions()) {
+    switch (d.kind) {
+      case 's':
+        ++s;
+        break;
+      case 'c':
+        ++c;
+        break;
+      case 'n':
+        ++n;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::string DecisionCounts::summary() const {
+  std::ostringstream out;
+  out << "s=" << s << " c=" << c << " n=" << n;
+  return out.str();
+}
+
 const char* to_string(StrategyKind kind) {
   switch (kind) {
     case StrategyKind::kFirst:
@@ -290,6 +314,7 @@ CellResult explore_cell(const CellOptions& opts) {
   auto note_run = [&](const RunResult& r) {
     ++res.schedules_run;
     res.decision_points += r.executed.size();
+    res.decisions.add(r.executed);
   };
 
   auto on_violation = [&](const RunResult& r) {

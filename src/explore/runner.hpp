@@ -65,10 +65,25 @@ struct RunResult {
   bool replay_diverged = false;  // replay_schedule only
 };
 
+/// Recorded decisions per kind ('s' step / 'c' clock / 'n' network) across
+/// a cell's schedules. Surfaced in sweep summaries so budget exhaustion on
+/// network-heavy cells is diagnosable: a cell whose budget went mostly to
+/// 'n' decisions explored little of the step space, and vice versa.
+struct DecisionCounts {
+  std::uint64_t s = 0;
+  std::uint64_t c = 0;
+  std::uint64_t n = 0;
+
+  std::uint64_t total() const { return s + c + n; }
+  void add(const ScheduleTrace& trace);
+  std::string summary() const;  // "s=120 c=14 n=0"
+};
+
 struct CellResult {
   CellOptions options;
   std::size_t schedules_run = 0;
   std::uint64_t decision_points = 0;  // recorded decisions across all schedules
+  DecisionCounts decisions;           // the same decisions, split by kind
   bool violation_found = false;
   ScheduleTrace first_violation;  // executed trace of the first violating run
   ScheduleTrace shrunk;           // delta-debugged minimum (still violating)

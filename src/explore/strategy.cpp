@@ -74,4 +74,10 @@ std::size_t ExploringWakePolicy::choose(const std::vector<time::RunnableStep>& s
   return idx;
 }
 
+std::size_t ExploringDeliveryHook::choose(const std::vector<std::uint64_t>& keys) {
+  const std::size_t idx = std::min(strategy_->choose('n', keys), keys.size() - 1);
+  trace_.record('n', static_cast<std::uint32_t>(idx), static_cast<std::uint32_t>(keys.size()));
+  return idx;
+}
+
 }  // namespace samoa::explore

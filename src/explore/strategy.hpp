@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "explore/trace.hpp"
+#include "net/sim_network.hpp"
 #include "time/clock.hpp"
 #include "util/rng.hpp"
 
@@ -120,6 +121,26 @@ class ExploringWakePolicy final : public time::WakePolicy {
   explicit ExploringWakePolicy(Strategy& strategy) : strategy_(&strategy) {}
 
   std::size_t choose(const std::vector<time::RunnableStep>& steps) override;
+
+  const ScheduleTrace& trace() const { return trace_; }
+
+ private:
+  Strategy* strategy_;
+  ScheduleTrace trace_;
+};
+
+/// Adapter wiring a Strategy into SimNetwork's DeliveryHook seam: each
+/// drain step with >= 2 eligible events (due lane heads, due control/fault
+/// events) becomes an 'n' decision in the trace. Candidate keys are
+/// destination site ids (packets) and kControlKeyBase + schedule index
+/// (controls) — stable across runs of a deterministic simulation. Install
+/// with SimNetwork::set_delivery_hook; `choose` runs under the network's
+/// mutex, which also serialises trace recording.
+class ExploringDeliveryHook final : public net::DeliveryHook {
+ public:
+  explicit ExploringDeliveryHook(Strategy& strategy) : strategy_(&strategy) {}
+
+  std::size_t choose(const std::vector<std::uint64_t>& keys) override;
 
   const ScheduleTrace& trace() const { return trace_; }
 

@@ -1,11 +1,21 @@
 #include "net/sim_network.hpp"
 
+#include <algorithm>
+#include <string>
+
 namespace samoa::net {
 
 namespace {
 std::uint64_t pack_pair(SiteId a, SiteId b) {
   return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
 }
+
+long event_us(Clock::time_point at) {
+  return static_cast<long>(
+      std::chrono::duration_cast<std::chrono::microseconds>(at.time_since_epoch()).count());
+}
+
+constexpr std::size_t kNoControl = static_cast<std::size_t>(-1);
 }  // namespace
 
 SimNetwork::SimNetwork(LinkOptions defaults, std::uint64_t seed, time::ClockSource* clock)
@@ -66,6 +76,73 @@ void SimNetwork::prune_heads() {
 Clock::time_point SimNetwork::earliest_deadline() {
   prune_heads();
   return heads_.empty() ? Clock::time_point::max() : heads_.top().deliver_at;
+}
+
+std::size_t SimNetwork::earliest_control() const {
+  std::size_t best = kNoControl;
+  for (std::size_t i = 0; i < controls_.size(); ++i) {
+    if (best == kNoControl || std::tie(controls_[i].at, controls_[i].seq) <
+                                  std::tie(controls_[best].at, controls_[best].seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Clock::time_point SimNetwork::next_deadline() {
+  Clock::time_point deadline = earliest_deadline();
+  const std::size_t ci = earliest_control();
+  if (ci != kNoControl && controls_[ci].at < deadline) deadline = controls_[ci].at;
+  return deadline;
+}
+
+void SimNetwork::set_delivery_hook(DeliveryHook* hook) {
+  std::unique_lock lock(mu_);
+  hook_ = hook;
+}
+
+void SimNetwork::schedule_control(std::chrono::microseconds delay, std::string label,
+                                  std::function<void()> fn) {
+  std::unique_lock lock(mu_);
+  controls_.push_back(ControlEvent{clock_.now() + delay, next_seq_++, next_control_key_++,
+                                   std::move(label), std::move(fn)});
+  cv_.notify_all();
+  lock.unlock();
+  // interrupt() with mu_ released, for the same lock-order reason as send().
+  clock_.interrupt();
+}
+
+void SimNetwork::cancel_controls() {
+  std::unique_lock lock(mu_);
+  controls_.clear();
+  cv_.notify_all();
+}
+
+void SimNetwork::enable_event_log(bool store_lines) {
+  std::unique_lock lock(mu_);
+  log_events_ = true;
+  log_store_ = store_lines;
+}
+
+std::vector<std::string> SimNetwork::event_log() const {
+  std::unique_lock lock(mu_);
+  return event_log_;
+}
+
+std::uint64_t SimNetwork::event_hash() const {
+  std::unique_lock lock(mu_);
+  return event_hash_;
+}
+
+void SimNetwork::note_event(const std::string& line) {
+  if (!log_events_) return;
+  for (const unsigned char c : line) {
+    event_hash_ ^= c;
+    event_hash_ *= 1099511628211ull;
+  }
+  event_hash_ ^= static_cast<unsigned char>('\n');
+  event_hash_ *= 1099511628211ull;
+  if (log_store_) event_log_.push_back(line);
 }
 
 const LinkOptions& SimNetwork::link_for(SiteId from, SiteId to) const {
@@ -180,55 +257,153 @@ void SimNetwork::drain() {
   cv_.wait(lock, [this] { return in_flight_count_ == 0 && !delivering_.valid(); });
 }
 
+void SimNetwork::deliver_from_lane(std::unique_lock<std::mutex>& lock, std::size_t lane_ix) {
+  Lane& lane = lanes_[lane_ix];
+  InFlight item = lane.q.top();
+  lane.q.pop();
+  --in_flight_count_;
+  // Re-claim the lane's next head so the merge invariant (every non-empty
+  // lane's head has a live claim) is restored; any claim for the popped
+  // head goes stale and is discarded lazily by prune_heads().
+  if (!lane.q.empty()) {
+    heads_.push(HeadRef{lane.q.top().deliver_at, lane.q.top().seq, lane_ix});
+  }
+  // Late crash check: packets in flight to a site that crashed meanwhile
+  // are lost (the site is gone).
+  const bool lost =
+      crashed_.contains(item.packet.to) || sites_[item.packet.to.value()] == nullptr;
+  if (log_events_) {
+    note_event(std::to_string(event_us(item.deliver_at)) + (lost ? " x " : " ") +
+               std::to_string(item.packet.from.value()) + ">" +
+               std::to_string(item.packet.to.value()) + " #" + std::to_string(item.seq));
+  }
+  if (lost) {
+    stats_.dropped.add();
+    if (in_flight_count_ == 0) cv_.notify_all();
+    return;
+  }
+  DeliveryFn deliver = sites_[item.packet.to.value()];
+  delivering_ = item.packet.to;
+  lock.unlock();
+  clock_.begin_dispatch(worker_.id(), item.deliver_at);
+  deliver(item.packet);
+  clock_.end_dispatch();
+  lock.lock();
+  delivering_ = SiteId{};
+  stats_.delivered.add();
+  cv_.notify_all();
+}
+
+void SimNetwork::run_control(std::unique_lock<std::mutex>& lock, std::size_t ix) {
+  ControlEvent ev = std::move(controls_[ix]);
+  controls_.erase(controls_.begin() + static_cast<std::ptrdiff_t>(ix));
+  if (log_events_) {
+    note_event(std::to_string(event_us(ev.at)) + " ! " + ev.label);
+  }
+  lock.unlock();
+  // The callback runs in its own dispatch turn at the scheduled virtual
+  // time, with mu_ released: it may call any SimNetwork mutator.
+  clock_.begin_dispatch(worker_.id(), ev.at);
+  if (ev.fn) ev.fn();
+  clock_.end_dispatch();
+  lock.lock();
+  cv_.notify_all();
+}
+
+void SimNetwork::step_explored(std::unique_lock<std::mutex>& lock) {
+  const auto now = clock_.now();
+  // Gather every eligible candidate: due lane heads (one per lane — the
+  // per-destination FIFO within a lane is not a choice) plus due controls.
+  struct Candidate {
+    std::uint64_t key;
+    bool control;
+    std::size_t ix;  // lane index or controls_ index
+  };
+  struct CandOrder {
+    Clock::time_point at;
+    std::uint64_t seq;
+  };
+  std::vector<Candidate> cands;
+  std::vector<CandOrder> order;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (!lanes_[i].q.empty() && lanes_[i].q.top().deliver_at <= now) {
+      cands.push_back(Candidate{i, false, i});
+      order.push_back(CandOrder{lanes_[i].q.top().deliver_at, lanes_[i].q.top().seq});
+    }
+  }
+  for (std::size_t i = 0; i < controls_.size(); ++i) {
+    if (controls_[i].at <= now) {
+      cands.push_back(Candidate{DeliveryHook::kControlKeyBase + controls_[i].key, true, i});
+      order.push_back(CandOrder{controls_[i].at, controls_[i].seq});
+    }
+  }
+  // The caller established that something is due, so cands is non-empty.
+  std::size_t pick = 0;
+  if (cands.size() >= 2) {
+    // Present candidates in natural (deliver_at, seq) order: index 0 is
+    // exactly the default merge choice, so a hook that always picks 0
+    // reproduces the unexplored delivery order, and shrinking a violating
+    // trace toward all-zeros shrinks toward the natural schedule.
+    std::vector<std::size_t> by_time(cands.size());
+    for (std::size_t i = 0; i < by_time.size(); ++i) by_time[i] = i;
+    std::sort(by_time.begin(), by_time.end(), [&order](std::size_t a, std::size_t b) {
+      return std::tie(order[a].at, order[a].seq) < std::tie(order[b].at, order[b].seq);
+    });
+    std::vector<Candidate> sorted;
+    sorted.reserve(cands.size());
+    for (std::size_t i : by_time) sorted.push_back(cands[i]);
+    cands.swap(sorted);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(cands.size());
+    for (const Candidate& c : cands) keys.push_back(c.key);
+    pick = std::min(hook_->choose(keys), cands.size() - 1);
+  }
+  if (cands[pick].control) {
+    run_control(lock, cands[pick].ix);
+  } else {
+    deliver_from_lane(lock, cands[pick].ix);
+  }
+}
+
 void SimNetwork::delivery_loop() {
   std::unique_lock lock(mu_);
   for (;;) {
     if (shutdown_) return;
-    if (in_flight_count_ == 0) {
+    if (in_flight_count_ == 0 && controls_.empty()) {
       clock_.wait(worker_.id(), lock, cv_,
-                  [this] { return shutdown_ || in_flight_count_ > 0; });
+                  [this] { return shutdown_ || in_flight_count_ > 0 || !controls_.empty(); });
       continue;
     }
-    const auto deadline = earliest_deadline();
+    const auto deadline = next_deadline();
     if (clock_.now() < deadline) {
       // Re-check on wake: an earlier packet, a cancellation of the head, or
       // shutdown may have invalidated the registered deadline.
       clock_.wait_until(worker_.id(), lock, cv_, deadline, [this, deadline] {
-        return shutdown_ || in_flight_count_ == 0 || earliest_deadline() != deadline;
+        return shutdown_ || (in_flight_count_ == 0 && controls_.empty()) ||
+               next_deadline() != deadline;
       });
       continue;
     }
-    // earliest_deadline() pruned, so the top claim matches its lane's head:
-    // pop both, then re-claim the lane's next head so the merge invariant
-    // (every non-empty lane's head has a live claim) is restored.
-    const HeadRef head = heads_.top();
-    heads_.pop();
-    Lane& lane = lanes_[head.dest];
-    InFlight item = lane.q.top();
-    lane.q.pop();
-    --in_flight_count_;
-    if (!lane.q.empty()) {
-      heads_.push(HeadRef{lane.q.top().deliver_at, lane.q.top().seq, head.dest});
-    }
-    // Late crash check: packets in flight to a site that crashed meanwhile
-    // are lost (the site is gone).
-    const bool lost =
-        crashed_.contains(item.packet.to) || sites_[item.packet.to.value()] == nullptr;
-    if (lost) {
-      stats_.dropped.add();
-      if (in_flight_count_ == 0) cv_.notify_all();
+    if (hook_ != nullptr) {
+      // Exploration: the hook picks among every eligible event.
+      step_explored(lock);
       continue;
     }
-    DeliveryFn deliver = sites_[item.packet.to.value()];
-    delivering_ = item.packet.to;
-    lock.unlock();
-    clock_.begin_dispatch(worker_.id(), item.deliver_at);
-    deliver(item.packet);
-    clock_.end_dispatch();
-    lock.lock();
-    delivering_ = SiteId{};
-    stats_.delivered.add();
-    cv_.notify_all();
+    // Default order: the strict (deliver_at, seq) merge of lane heads and
+    // control events — byte-identical to the pre-seam delivery order (and
+    // controls only exist when a driver scheduled them).
+    const std::size_t ci = earliest_control();
+    if (ci != kNoControl &&
+        (heads_.empty() || std::tie(controls_[ci].at, controls_[ci].seq) <
+                               std::tie(heads_.top().deliver_at, heads_.top().seq))) {
+      run_control(lock, ci);
+      continue;
+    }
+    // earliest_deadline() (via next_deadline) pruned, so the top claim
+    // matches its lane's head: pop the claim and deliver from that lane.
+    const HeadRef head = heads_.top();
+    heads_.pop();
+    deliver_from_lane(lock, head.dest);
   }
 }
 

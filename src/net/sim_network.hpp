@@ -26,6 +26,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -49,6 +50,35 @@ struct LinkOptions {
   std::chrono::microseconds base_latency{100};
   std::chrono::microseconds jitter{0};  // uniform extra in [0, jitter]
   double drop_probability = 0.0;
+};
+
+/// Decision seam over the delivery loop, for schedule exploration. When a
+/// hook is installed, every drain step where more than one event is
+/// *eligible* — a lane head whose deadline is due, or a due control event
+/// (fault injections routed through schedule_control) — becomes a decision
+/// point: choose() picks which event fires next instead of the default
+/// (deliver_at, seq) merge order. Candidate keys are stable across runs of
+/// a deterministic simulation, which is what makes the decisions
+/// recordable and replayable:
+///   packet candidate   key = destination site id (one per lane head)
+///   control candidate  key = kControlKeyBase + schedule index
+/// Keys are presented in each candidate's natural (deliver_at, seq) order,
+/// so index 0 is exactly the default merge choice: a hook that always
+/// picks 0 reproduces the unexplored delivery order, and shrinking a trace
+/// toward all-zeros shrinks toward the natural schedule. choose() runs
+/// with the network mutex held: it must not block or re-enter the network.
+///
+/// Without a hook (the default), delivery order is byte-identical to the
+/// plain merge of the per-destination lanes: exploration is a strict
+/// opt-in, never a behavioural change for seeded production runs.
+class DeliveryHook {
+ public:
+  static constexpr std::uint64_t kControlKeyBase = 1ull << 32;
+
+  virtual ~DeliveryHook() = default;
+
+  /// Pick an index into `keys` (sorted ascending, size >= 2).
+  virtual std::size_t choose(const std::vector<std::uint64_t>& keys) = 0;
 };
 
 class SimNetwork {
@@ -101,6 +131,36 @@ class SimNetwork {
   /// recover() once the callee is ready to receive.
   void attach(SiteId site, DeliveryFn deliver);
 
+  /// Install (or clear, with nullptr) the exploration decision seam. Must
+  /// be set while the network is quiet (before traffic / between drains):
+  /// the delivery loop reads it at every drain step.
+  void set_delivery_hook(DeliveryHook* hook);
+
+  /// Schedule a control event at virtual offset `delay` from now: a fault
+  /// injection (or any scripted step) that should interleave with packet
+  /// delivery as an explorable decision. The callback runs on the delivery
+  /// thread inside its own clock dispatch turn, with the network mutex
+  /// released — it may call any SimNetwork mutator. Without a DeliveryHook
+  /// control events fire in the global (deliver_at, seq) merge order,
+  /// exactly as a TimerService-armed action would; with one, a due control
+  /// event is one more candidate at the decision point, so fault *timing*
+  /// relative to delivery order is explored too. Control events do not
+  /// count as in-flight packets: drain() does not wait for them.
+  void schedule_control(std::chrono::microseconds delay, std::string label,
+                        std::function<void()> fn);
+
+  /// Drop every pending control event (scenario shutdown).
+  void cancel_controls();
+
+  /// Record the packet-level event stream: one line per delivery, late
+  /// drop, and control firing, in execution order. `store_lines` keeps the
+  /// full log (replay byte-comparison); otherwise only the rolling
+  /// event_hash() is maintained (cheap enough for fleet-sized runs).
+  void enable_event_log(bool store_lines = true);
+  std::vector<std::string> event_log() const;
+  /// FNV-1a over the recorded event lines; identical streams hash equal.
+  std::uint64_t event_hash() const;
+
   /// Default link options applied where no set_link override exists.
   /// Mutators let a chaos plan script loss-burst windows; the RNG draw
   /// discipline (see send()) keeps replays aligned as long as the change
@@ -148,8 +208,32 @@ class SimNetwork {
     }
   };
 
+  /// A scheduled fault/script step participating in delivery decisions.
+  struct ControlEvent {
+    Clock::time_point at;
+    std::uint64_t seq;  // shares next_seq_ with packets: one merge order
+    std::uint64_t key;  // dense schedule index, stable across replays
+    std::string label;
+    std::function<void()> fn;
+  };
+
   void delivery_loop();
   const LinkOptions& link_for(SiteId from, SiteId to) const;
+  /// One drain step under an installed DeliveryHook: gather every eligible
+  /// candidate (due lane heads + due control events), let the hook choose
+  /// when there are >= 2, execute the chosen one. Caller holds mu_ and has
+  /// established that at least one event is due.
+  void step_explored(std::unique_lock<std::mutex>& lock);
+  /// Pop lane `lane_ix`'s head and run the delivery protocol (late-crash
+  /// check, callback with mu_ released, stats, claim for the next head).
+  void deliver_from_lane(std::unique_lock<std::mutex>& lock, std::size_t lane_ix);
+  /// Run controls_[ix] on the delivery thread (mu_ released around fn).
+  void run_control(std::unique_lock<std::mutex>& lock, std::size_t ix);
+  /// Index of the earliest pending control by (at, seq); npos when none.
+  std::size_t earliest_control() const;
+  /// Earliest deadline across lanes and controls (max() when idle).
+  Clock::time_point next_deadline();
+  void note_event(const std::string& line);
   /// Enqueue into the destination lane; returns true iff the packet became
   /// the new global earliest (the delivery loop must re-evaluate).
   bool push_packet(InFlight item);
@@ -178,6 +262,15 @@ class SimNetwork {
   // seeded replays are byte-identical to the unsharded queue's.
   std::vector<Lane> lanes_;  // indexed by destination site
   std::priority_queue<HeadRef, std::vector<HeadRef>, std::greater<>> heads_;
+  // Pending control events. A plain vector scanned linearly: fault plans
+  // hold tens of actions, and the scan only runs when controls exist.
+  std::vector<ControlEvent> controls_;
+  std::uint64_t next_control_key_ = 0;
+  DeliveryHook* hook_ = nullptr;
+  bool log_events_ = false;
+  bool log_store_ = false;
+  std::vector<std::string> event_log_;
+  std::uint64_t event_hash_ = 1469598103934665603ull;  // FNV-1a offset basis
   std::size_t in_flight_count_ = 0;
   SiteId delivering_;  // site whose callback is currently running
   std::uint64_t next_seq_ = 0;

@@ -8,6 +8,8 @@
 // against.
 #include <gtest/gtest.h>
 
+#include <ios>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -224,6 +226,21 @@ TEST(Determinism, RecoveryFleetReplaysIdentically) {
 // merge to exactly the global (deliver_at, seq) order and every protocol
 // RNG is seeded, so two same-seed runs may not diverge in any observable.
 TEST(Determinism, ChurnFleetReplaysIdentically) {
+  // Golden packet-level event-stream hashes (FNV-1a over SimNetwork's
+  // delivery/drop/control event lines, in execution order). These pin that
+  // with exploration disabled — no DeliveryHook installed — the delivery
+  // order is bit-identical to what it was before the hook seam existed:
+  // any change to the (deliver_at, seq) merge, the lane claim protocol or
+  // the per-send RNG draw discipline shifts the hash. The literals are
+  // libstdc++-specific (jitter draws go through std::uniform_int_distribution,
+  // whose output is implementation-defined), so other stdlibs only check
+  // replay equality.
+#ifdef __GLIBCXX__
+  const std::map<std::uint64_t, std::uint64_t> golden = {
+      {1ull, 0xd017962d316934ecull},
+      {17ull, 0x6f21072a3be5e26cull},
+  };
+#endif
   for (const std::uint64_t seed : {1ull, 17ull}) {
     testing::ChurnConfig cfg;
     cfg.sites = 30;
@@ -233,6 +250,13 @@ TEST(Determinism, ChurnFleetReplaysIdentically) {
     ASSERT_TRUE(a.converged) << "seed " << seed;
     ASSERT_TRUE(b.converged) << "seed " << seed;
     EXPECT_EQ(a.converged_at_us, b.converged_at_us) << "seed " << seed;
+    EXPECT_EQ(a.event_hash, b.event_hash) << "seed " << seed << ": event streams diverged";
+#ifdef __GLIBCXX__
+    EXPECT_EQ(a.event_hash, golden.at(seed))
+        << "seed " << seed << ": delivery order changed vs the golden pin; actual hash is 0x"
+        << std::hex << a.event_hash
+        << ". If the change is intentional, re-run and update the literal.";
+#endif
     EXPECT_EQ(a.trace_lines, b.trace_lines) << "seed " << seed << ": delivery traces diverged";
     EXPECT_EQ(a.view_lines, b.view_lines) << "seed " << seed << ": view sequences diverged";
     EXPECT_EQ(a.chaos_log, b.chaos_log) << "seed " << seed << ": fault injection diverged";

@@ -490,6 +490,10 @@ struct ChurnOutcome {
   std::uint64_t net_sent = 0;
   std::uint64_t net_delivered = 0;
   std::uint64_t net_dropped = 0;
+  // FNV-1a over SimNetwork's packet-level event stream (deliveries, late
+  // drops, control firings, in execution order): the delivery-order
+  // fingerprint of the whole run, independent of protocol-level state.
+  std::uint64_t event_hash = 0;
 };
 
 inline ChurnOutcome run_churn_fleet(const ChurnConfig& cfg) {
@@ -535,6 +539,7 @@ inline ChurnOutcome run_churn_fleet(const ChurnConfig& cfg) {
                                        .jitter = microseconds(200),
                                        .drop_probability = cfg.drop_probability},
                       cfg.seed, &clock);
+  net.enable_event_log(/*store_lines=*/false);  // rolling hash only
   net::TimerService script(&clock);
   chaos::ChaosEngine engine(net, script);
 
@@ -739,6 +744,7 @@ inline ChurnOutcome run_churn_fleet(const ChurnConfig& cfg) {
   out.net_sent = net.stats().sent.value();
   out.net_delivered = net.stats().delivered.value();
   out.net_dropped = net.stats().dropped.value();
+  out.event_hash = net.event_hash();
   return out;
 }
 
